@@ -1,0 +1,86 @@
+// Command rbasm assembles, disassembles, and functionally runs programs in
+// the repository's Alpha-like assembly language.
+//
+// Usage:
+//
+//	rbasm -run prog.s               # assemble and execute, print registers
+//	rbasm -dis prog.s               # assemble and print the decoded program
+//	rbasm -run -trace prog.s        # also print the committed trace
+//	rbasm -run -max 100000 prog.s   # instruction budget (default 10M)
+//
+// The emulator is the architectural golden model of internal/emu: it
+// executes in 2's complement; the redundant binary datapath is exercised by
+// the timing simulator (rbsim -check).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+)
+
+func main() {
+	run := flag.Bool("run", false, "execute the program")
+	dis := flag.Bool("dis", false, "print the decoded program")
+	showTrace := flag.Bool("trace", false, "print every committed instruction (with -run)")
+	maxInsts := flag.Int64("max", 10_000_000, "instruction budget for -run")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rbasm [-run|-dis] [-trace] [-max N] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rbasm: %v\n", err)
+		os.Exit(1)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rbasm: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *dis || !*run {
+		for i, in := range prog.Insts {
+			marker := "  "
+			if i == prog.Entry {
+				marker = "=>"
+			}
+			fmt.Printf("%s %4d: %s\n", marker, i, in)
+		}
+		if !*run {
+			return
+		}
+	}
+
+	e := emu.New(prog)
+	var fn func(emu.TraceEntry)
+	if *showTrace {
+		fn = func(t emu.TraceEntry) {
+			fmt.Printf("%8d  pc=%-5d %-28s", t.Seq, t.PC, t.Inst.String())
+			if t.HasResult {
+				fmt.Printf(" -> %#x", t.Result)
+			}
+			if t.Inst.Class().IsMemory() {
+				fmt.Printf(" [ea %#x]", t.EA)
+			}
+			fmt.Println()
+		}
+	}
+	n, err := e.Run(*maxInsts, fn)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rbasm: after %d instructions: %v\n", n, err)
+		os.Exit(1)
+	}
+	fmt.Printf("halted after %d instructions\n", n)
+	for i := 0; i < 32; i += 4 {
+		for j := i; j < i+4; j++ {
+			fmt.Printf("r%-2d %#-18x ", j, e.Regs[j])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,122 @@
+// Command rbexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rbexp -exp all            # everything, in paper order
+//	rbexp -exp fig9           # one artifact: table1|table2|table3|
+//	                          # fig9|fig10|fig11|fig12|fig13|fig14|summary
+//
+// Output is plain text: each figure prints its data table (and an ASCII bar
+// rendering for the IPC figures). See EXPERIMENTS.md for paper-vs-measured
+// commentary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+type artifact struct {
+	name string
+	run  func(io.Writer) error
+}
+
+func ipc(fn func() (*experiments.IPCFigure, error)) func(io.Writer) error {
+	return func(w io.Writer) error {
+		f, err := fn()
+		if err != nil {
+			return err
+		}
+		return f.Render(w)
+	}
+}
+
+var artifacts = []artifact{
+	{"fig1", func(w io.Writer) error {
+		d, err := experiments.Figure1()
+		if err != nil {
+			return err
+		}
+		return d.Render(w)
+	}},
+	{"table1", func(w io.Writer) error {
+		d, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		return d.Render(w)
+	}},
+	{"table2", experiments.RenderTable2},
+	{"table3", experiments.RenderTable3},
+	{"fig9", ipc(experiments.Figure9)},
+	{"fig10", ipc(experiments.Figure10)},
+	{"fig11", ipc(experiments.Figure11)},
+	{"fig12", ipc(experiments.Figure12)},
+	{"fig13", func(w io.Writer) error {
+		d, err := experiments.Figure13()
+		if err != nil {
+			return err
+		}
+		return d.Render(w)
+	}},
+	{"fig14", func(w io.Writer) error {
+		d, err := experiments.Figure14()
+		if err != nil {
+			return err
+		}
+		return d.Render(w)
+	}},
+	{"sweeps", func(w io.Writer) error {
+		d, err := experiments.Sweeps()
+		if err != nil {
+			return err
+		}
+		return d.Render(w)
+	}},
+	{"summary", func(w io.Writer) error {
+		s, err := experiments.ComputeSummary()
+		if err != nil {
+			return err
+		}
+		return s.Render(w)
+	}},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "artifact to regenerate (all, or one of: fig1 table1 table2 table3 fig9 fig10 fig11 fig12 fig13 fig14 sweeps summary)")
+	flag.Parse()
+
+	run := func(a artifact) {
+		if err := a.run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "rbexp: %s: %v\n", a.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *exp == "all" {
+		for _, a := range artifacts {
+			run(a)
+		}
+		return
+	}
+	for _, name := range strings.Split(*exp, ",") {
+		found := false
+		for _, a := range artifacts {
+			if a.name == name {
+				run(a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "rbexp: unknown artifact %q\n", name)
+			os.Exit(2)
+		}
+	}
+}

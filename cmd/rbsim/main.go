@@ -1,0 +1,194 @@
+// Command rbsim runs one workload on one machine model and prints detailed
+// statistics.
+//
+// Usage:
+//
+//	rbsim -workload compress -machine rb-full -width 8
+//	rbsim -list                      # list workloads
+//	rbsim -workload mcf -machine ideal -width 4 -check
+//	rbsim -workload gzip -machine ideal -no-bypass-levels 1,2
+//
+// Machines: baseline, rb-limited, rb-full, ideal (paper §5.1). The -check
+// flag carries redundant binary values through the datapath and verifies
+// them against the functional golden model. -no-bypass-levels removes bypass
+// levels from the Baseline/Ideal machines (paper §4.2 / Figure 14).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bypass"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/pipeview"
+	"repro/internal/tracefile"
+	"repro/internal/workload"
+)
+
+func main() {
+	wlName := flag.String("workload", "compress", "workload name (see -list)")
+	machName := flag.String("machine", "ideal", "machine model: baseline, rb-limited, rb-full, ideal, staggered")
+	width := flag.Int("width", 8, "execution width: 4 or 8")
+	check := flag.Bool("check", false, "cross-check the redundant binary datapath against the golden model")
+	wrongPath := flag.Bool("wrong-path", false, "fetch and squash the predicted wrong path after mispredictions")
+	pipeline := flag.Int("pipeline", 0, "print a cycle-by-cycle pipeline diagram of the first N instructions")
+	saveTrace := flag.String("save-trace", "", "write the workload's committed trace to this file and exit")
+	fromTrace := flag.String("from-trace", "", "simulate a trace previously written with -save-trace instead of tracing the workload")
+	noLevels := flag.String("no-bypass-levels", "", "comma-separated bypass levels to remove (baseline/ideal machines)")
+	list := flag.Bool("list", false, "list available workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workload.All() {
+			fmt.Printf("%-10s %-12s %s\n", w.Name, w.Suite, w.Description)
+		}
+		return
+	}
+
+	w, ok := workload.ByName(*wlName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rbsim: unknown workload %q (try -list)\n", *wlName)
+		os.Exit(2)
+	}
+
+	cfg, err := machine.ByName(strings.ToLower(*machName), *width)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rbsim: %v\n", err)
+		os.Exit(2)
+	}
+	if *noLevels != "" {
+		bp := bypass.Full()
+		for _, f := range strings.Split(*noLevels, ",") {
+			lvl, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || lvl < 1 || lvl > bypass.NumLevels {
+				fmt.Fprintf(os.Stderr, "rbsim: bad bypass level %q\n", f)
+				os.Exit(2)
+			}
+			bp = bp.Without(lvl)
+		}
+		cfg = machine.NewIdealLimited(*width, bp)
+	}
+	cfg.DatapathCheck = *check
+	cfg.ModelWrongPath = *wrongPath
+
+	var trace []emu.TraceEntry
+	if *fromTrace != "" {
+		f, err := os.Open(*fromTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rbsim: %v\n", err)
+			os.Exit(1)
+		}
+		trace, err = tracefile.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rbsim: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		var err error
+		trace, err = w.Trace()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rbsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *saveTrace != "" {
+		f, err := os.Create(*saveTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rbsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracefile.Write(f, trace); err != nil {
+			fmt.Fprintf(os.Stderr, "rbsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rbsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace entries to %s\n", len(trace), *saveTrace)
+		return
+	}
+	prog, err := w.Program()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rbsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *pipeline > 0 {
+		n := *pipeline
+		if n > len(trace) {
+			n = len(trace)
+		}
+		_, stages, err := core.RunWithStages(cfg, w.Name, trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rbsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pipeview.Render(os.Stdout, cfg, trace, stages, 0, n); err != nil {
+			fmt.Fprintf(os.Stderr, "rbsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	r, err := core.RunWithProgram(cfg, w.Name, prog, trace)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rbsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload:      %s (%s)\n", w.Name, w.Suite)
+	fmt.Printf("machine:       %s\n", cfg.Name)
+	fmt.Printf("instructions:  %d\n", r.Instructions)
+	fmt.Printf("cycles:        %d\n", r.Cycles)
+	fmt.Printf("IPC:           %.4f\n", r.IPC())
+	fmt.Printf("occupancy:     %.1f in-flight instructions (window %d)\n", r.AvgOccupancy(), cfg.WindowSize)
+	fmt.Printf("branches:      %d (%.2f%% mispredicted)\n", r.Branches, 100*r.MispredictRate())
+	fmt.Printf("L1I:           %.2f%% miss (%d accesses)\n", 100*r.L1I.MissRate(), r.L1I.Accesses())
+	fmt.Printf("L1D:           %.2f%% miss (%d accesses)\n", 100*r.L1D.MissRate(), r.L1D.Accesses())
+	fmt.Printf("L2:            %.2f%% miss (%d accesses)\n", 100*r.L2.MissRate(), r.L2.Accesses())
+	var lastTotal int64
+	for _, v := range r.LastArriving {
+		lastTotal += v
+	}
+	fmt.Printf("bypassed:      %.1f%% of instructions had a bypassed source\n",
+		100*float64(r.BypassedInstructions)/float64(max64(r.Instructions, 1)))
+	if lastTotal > 0 {
+		fmt.Printf("bypass cases:  ")
+		for c := core.BypassCase(0); c < core.NumBypassCases; c++ {
+			fmt.Printf("%s %.1f%%  ", c, 100*float64(r.LastArriving[c])/float64(lastTotal))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("source levels: %.1f%% first-level bypass, %.1f%% other level, %.1f%% register file/none\n",
+		pct(r.SrcLevel1, r.Instructions), pct(r.SrcOtherLevel, r.Instructions), pct(r.SrcNoBypass, r.Instructions))
+	fmt.Printf("dynamic mix:\n")
+	for row := isa.Table1Row(0); row < isa.NumTable1Rows; row++ {
+		fmt.Printf("  %-45s %.1f%%\n", row.String(), pct(r.Table1Counts[row], r.Instructions))
+	}
+	if *wrongPath {
+		fmt.Printf("wrong path:    %d squashed instructions reached execution\n", r.WrongPathIssued)
+	}
+	if *check {
+		fmt.Printf("datapath:      %d results verified through the redundant binary datapath\n", r.DatapathChecked)
+	}
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,532 @@
+// Package asm implements a two-pass text assembler for the Alpha-like ISA in
+// internal/isa. The synthetic SPEC-like workloads in internal/workload are
+// written in this assembly language, keeping them real programs (with labels,
+// loops, and initialized data) rather than opaque instruction lists.
+//
+// Syntax overview (one statement per line; ';' or '//' starts a comment):
+//
+//	label:                      ; define a code label
+//	    addq  r1, r2, r3        ; Rc = Ra op Rb
+//	    subq  r1, #42, r3       ; literal second operand
+//	    sextb r4, r5            ; one-input operates: Rb, Rc
+//	    lda   r4, 16(r5)        ; displacement form, also loads/stores
+//	    ldq   r6, -8(r7)
+//	    beq   r1, loop          ; branch to label
+//	    br    r31, done         ; unconditional branch
+//	    jsr   r26, (r27)        ; indirect jump through register
+//	    mov   r1, r2            ; pseudo: bis r1, r1, r2
+//	    li    r2, 123456        ; pseudo: load immediate (lda/ldah pair)
+//	    halt
+//
+//	.entry main                 ; entry label (default: first instruction)
+//	.data 0x10000               ; set the data cursor
+//	.quad 1, -2, 0x30           ; emit 64-bit values at the cursor
+//	.long 7, 8                  ; emit 32-bit values
+//	.byte 1, 2, 3               ; emit bytes
+//	.space 256                  ; advance the cursor
+//
+// Register operands are r0..r31; "zero" is an alias for r31. Code addresses
+// (branch targets, return addresses, registers used by jmp/jsr/ret) are
+// instruction indices.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Error describes an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error formats the failure with its source line number.
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// Assemble translates source text into a program.
+func Assemble(src string) (*isa.Program, error) {
+	a := &assembler{
+		labels: make(map[string]int),
+		prog:   &isa.Program{Data: make(map[uint64][]byte), Labels: make(map[string]int)},
+	}
+	if err := a.pass(src, 1); err != nil {
+		return nil, err
+	}
+	if err := a.pass(src, 2); err != nil {
+		return nil, err
+	}
+	a.prog.Labels = a.labels
+	return a.prog, nil
+}
+
+// MustAssemble is Assemble for known-good embedded sources; it panics on
+// error.
+func MustAssemble(src string) *isa.Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	labels     map[string]int
+	prog       *isa.Program
+	pc         int
+	dataCursor uint64
+	entrySet   bool
+	entryLabel string
+	entryLine  int
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) pass(src string, pass int) error {
+	a.pc = 0
+	a.dataCursor = 0
+	lines := strings.Split(src, "\n")
+	for i, raw := range lines {
+		lineNo := i + 1
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several) at the start of the line.
+		for {
+			idx := strings.Index(line, ":")
+			if idx < 0 || strings.ContainsAny(line[:idx], " \t,()#") {
+				break
+			}
+			name := line[:idx]
+			if pass == 1 {
+				if _, dup := a.labels[name]; dup {
+					return a.errf(lineNo, "duplicate label %q", name)
+				}
+				a.labels[name] = a.pc
+			}
+			line = strings.TrimSpace(line[idx+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			if err := a.directive(line, lineNo, pass); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := a.statement(line, lineNo, pass); err != nil {
+			return err
+		}
+	}
+	if pass == 2 && a.entrySet {
+		pc, ok := a.labels[a.entryLabel]
+		if !ok {
+			return a.errf(a.entryLine, "unknown entry label %q", a.entryLabel)
+		}
+		a.prog.Entry = pc
+	}
+	return nil
+}
+
+func stripComment(line string) string {
+	if i := strings.Index(line, ";"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	return line
+}
+
+func (a *assembler) directive(line string, lineNo, pass int) error {
+	name, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch name {
+	case ".entry":
+		if rest == "" {
+			return a.errf(lineNo, ".entry requires a label")
+		}
+		a.entrySet = true
+		a.entryLabel = rest
+		a.entryLine = lineNo
+		return nil
+	case ".data":
+		v, err := parseInt(rest)
+		if err != nil {
+			return a.errf(lineNo, ".data: %v", err)
+		}
+		a.dataCursor = uint64(v)
+		return nil
+	case ".space":
+		v, err := parseInt(rest)
+		if err != nil || v < 0 {
+			return a.errf(lineNo, ".space requires a nonnegative size")
+		}
+		a.dataCursor += uint64(v)
+		return nil
+	case ".quad", ".long", ".byte":
+		size := map[string]int{".quad": 8, ".long": 4, ".byte": 1}[name]
+		for _, f := range splitOperands(rest) {
+			v, err := parseInt(f)
+			if err != nil {
+				return a.errf(lineNo, "%s: %v", name, err)
+			}
+			if pass == 2 {
+				buf := make([]byte, size)
+				u := uint64(v)
+				for b := 0; b < size; b++ {
+					buf[b] = byte(u >> (8 * b))
+				}
+				a.emitData(buf)
+			}
+			a.dataCursor += uint64(size)
+		}
+		return nil
+	default:
+		return a.errf(lineNo, "unknown directive %q", name)
+	}
+}
+
+// emitData records bytes at the current data cursor, merging into page-less
+// chunks keyed by start address.
+func (a *assembler) emitData(b []byte) {
+	a.prog.Data[a.dataCursor] = append([]byte(nil), b...)
+}
+
+func (a *assembler) statement(line string, lineNo, pass int) error {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.ToLower(mnemonic)
+	rest = strings.TrimSpace(rest)
+	ops := splitOperands(rest)
+
+	// Pseudo-instructions may expand to more than one real instruction, so
+	// both passes must agree on the count.
+	switch mnemonic {
+	case "mov": // mov ra, rc -> bis ra, ra, rc
+		if len(ops) != 2 {
+			return a.errf(lineNo, "mov needs 2 operands")
+		}
+		ra, err1 := parseReg(ops[0])
+		rc, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return a.errf(lineNo, "mov needs register operands")
+		}
+		a.emit(pass, isa.Instruction{Op: isa.BIS, Ra: ra, Rb: ra, Rc: rc})
+		return nil
+	case "nop":
+		a.emit(pass, isa.Instruction{Op: isa.BIS, Ra: isa.RZero, Rb: isa.RZero, Rc: isa.RZero})
+		return nil
+	case "clr": // clr rc
+		if len(ops) != 1 {
+			return a.errf(lineNo, "clr needs 1 operand")
+		}
+		rc, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf(lineNo, "%v", err)
+		}
+		a.emit(pass, isa.Instruction{Op: isa.BIS, Ra: isa.RZero, Rb: isa.RZero, Rc: rc})
+		return nil
+	case "li": // li rc, imm -> lda (+ ldah if needed)
+		if len(ops) != 2 {
+			return a.errf(lineNo, "li needs 2 operands")
+		}
+		rc, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf(lineNo, "%v", err)
+		}
+		v, err := parseInt(ops[1])
+		if err != nil {
+			return a.errf(lineNo, "li: %v", err)
+		}
+		low := int64(int16(v))
+		high := (v - low) >> 16
+		if high != int64(int32(high)) {
+			return a.errf(lineNo, "li: immediate %d out of 48-bit range", v)
+		}
+		if high != 0 {
+			a.emit(pass, isa.Instruction{Op: isa.LDAH, Ra: rc, Rb: isa.RZero, Imm: high})
+			a.emit(pass, isa.Instruction{Op: isa.LDA, Ra: rc, Rb: rc, Imm: low})
+		} else {
+			a.emit(pass, isa.Instruction{Op: isa.LDA, Ra: rc, Rb: isa.RZero, Imm: low})
+		}
+		return nil
+	case "lea": // lea rc, label -> ldah+lda pair loading the label's instruction index
+		if len(ops) != 2 {
+			return a.errf(lineNo, "lea needs 2 operands")
+		}
+		rc, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf(lineNo, "%v", err)
+		}
+		var v int64
+		if pass == 2 {
+			target, ok := a.labels[ops[1]]
+			if !ok {
+				return a.errf(lineNo, "unknown label %q", ops[1])
+			}
+			v = int64(target)
+		}
+		low := int64(int16(v))
+		high := (v - low) >> 16
+		// Always a fixed two-instruction expansion so both passes agree on
+		// instruction counts regardless of the label's value.
+		a.emit(pass, isa.Instruction{Op: isa.LDAH, Ra: rc, Rb: isa.RZero, Imm: high})
+		a.emit(pass, isa.Instruction{Op: isa.LDA, Ra: rc, Rb: rc, Imm: low})
+		return nil
+	case "negq": // negq rb, rc -> subq r31, rb, rc
+		if len(ops) != 2 {
+			return a.errf(lineNo, "negq needs 2 operands")
+		}
+		rb, err1 := parseReg(ops[0])
+		rc, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return a.errf(lineNo, "negq needs register operands")
+		}
+		a.emit(pass, isa.Instruction{Op: isa.SUBQ, Ra: isa.RZero, Rb: rb, Rc: rc})
+		return nil
+	}
+
+	op, ok := isa.OpByName(mnemonic)
+	if !ok {
+		return a.errf(lineNo, "unknown mnemonic %q", mnemonic)
+	}
+	in := isa.Instruction{Op: op}
+	c := isa.ClassOf(op)
+
+	switch {
+	case op == isa.HALT:
+		if len(ops) != 0 {
+			return a.errf(lineNo, "halt takes no operands")
+		}
+	case op == isa.LDA || op == isa.LDAH || c.IsLoad || c.IsStore:
+		// ra, disp(rb)
+		if len(ops) != 2 {
+			return a.errf(lineNo, "%s needs 2 operands: ra, disp(rb)", mnemonic)
+		}
+		ra, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf(lineNo, "%v", err)
+		}
+		disp, rb, err := parseDisp(ops[1])
+		if err != nil {
+			return a.errf(lineNo, "%v", err)
+		}
+		in.Ra, in.Rb, in.Imm = ra, rb, disp
+	case c.IsCondBranch:
+		if len(ops) != 2 {
+			return a.errf(lineNo, "%s needs 2 operands: ra, target", mnemonic)
+		}
+		ra, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf(lineNo, "%v", err)
+		}
+		in.Ra = ra
+		disp, err := a.branchTarget(ops[1], lineNo, pass)
+		if err != nil {
+			return err
+		}
+		in.Imm = disp
+	case op == isa.BR || op == isa.BSR:
+		if len(ops) != 2 {
+			return a.errf(lineNo, "%s needs 2 operands: ra, target", mnemonic)
+		}
+		ra, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf(lineNo, "%v", err)
+		}
+		in.Ra = ra
+		disp, err := a.branchTarget(ops[1], lineNo, pass)
+		if err != nil {
+			return err
+		}
+		in.Imm = disp
+	case c.IsIndirect:
+		if len(ops) != 2 {
+			return a.errf(lineNo, "%s needs 2 operands: ra, (rb)", mnemonic)
+		}
+		ra, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf(lineNo, "%v", err)
+		}
+		target := strings.TrimSpace(ops[1])
+		if !strings.HasPrefix(target, "(") || !strings.HasSuffix(target, ")") {
+			return a.errf(lineNo, "%s target must be (rN)", mnemonic)
+		}
+		rb, err := parseReg(target[1 : len(target)-1])
+		if err != nil {
+			return a.errf(lineNo, "%v", err)
+		}
+		in.Ra, in.Rb = ra, rb
+	case op == isa.SEXTB || op == isa.SEXTW || op == isa.CTLZ || op == isa.CTTZ || op == isa.CTPOP:
+		// rb, rc (one-input operates)
+		if len(ops) != 2 {
+			return a.errf(lineNo, "%s needs 2 operands: rb, rc", mnemonic)
+		}
+		if err := a.parseOperand(ops[0], &in.Rb, &in.Imm, &in.UseImm); err != nil {
+			return a.errf(lineNo, "%v", err)
+		}
+		rc, err := parseReg(ops[1])
+		if err != nil {
+			return a.errf(lineNo, "%v", err)
+		}
+		in.Rc = rc
+	default:
+		// ra, rb|#imm, rc
+		if len(ops) != 3 {
+			return a.errf(lineNo, "%s needs 3 operands: ra, rb|#imm, rc", mnemonic)
+		}
+		ra, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf(lineNo, "%v", err)
+		}
+		in.Ra = ra
+		if err := a.parseOperand(ops[1], &in.Rb, &in.Imm, &in.UseImm); err != nil {
+			return a.errf(lineNo, "%v", err)
+		}
+		rc, err := parseReg(ops[2])
+		if err != nil {
+			return a.errf(lineNo, "%v", err)
+		}
+		in.Rc = rc
+	}
+	a.emit(pass, in)
+	return nil
+}
+
+// parseOperand parses a register or "#literal" second operand.
+func (a *assembler) parseOperand(s string, rb *isa.Reg, imm *int64, useImm *bool) error {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "#") {
+		v, err := parseInt(s[1:])
+		if err != nil {
+			return err
+		}
+		*imm = v
+		*useImm = true
+		return nil
+	}
+	r, err := parseReg(s)
+	if err != nil {
+		return err
+	}
+	*rb = r
+	return nil
+}
+
+// branchTarget resolves a label or numeric ".+N" displacement to the
+// instruction displacement relative to pc+1.
+func (a *assembler) branchTarget(s string, lineNo, pass int) (int64, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, ".") {
+		v, err := parseInt(s[1:])
+		if err != nil {
+			return 0, a.errf(lineNo, "bad relative target %q", s)
+		}
+		return v, nil
+	}
+	if pass == 1 {
+		return 0, nil // labels may be forward references
+	}
+	target, ok := a.labels[s]
+	if !ok {
+		return 0, a.errf(lineNo, "unknown label %q", s)
+	}
+	return int64(target - (a.pc + 1)), nil
+}
+
+func (a *assembler) emit(pass int, in isa.Instruction) {
+	if pass == 2 {
+		a.prog.Insts = append(a.prog.Insts, in)
+	}
+	a.pc++
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "zero" {
+		return isa.RZero, nil
+	}
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("invalid register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+// parseDisp parses "disp(rb)" or "(rb)" (disp 0).
+func parseDisp(s string) (int64, isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("expected disp(rb), got %q", s)
+	}
+	var disp int64
+	if open > 0 {
+		v, err := parseInt(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+		disp = v
+	}
+	rb, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return disp, rb, nil
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty integer")
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	} else if strings.HasPrefix(s, "+") {
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(s), "0x"), base(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	r := int64(v)
+	if neg {
+		r = -r
+	}
+	return r, nil
+}
+
+func base(s string) int {
+	if strings.HasPrefix(strings.ToLower(s), "0x") {
+		return 16
+	}
+	return 10
+}

@@ -1,0 +1,276 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAssembleBasicForms(t *testing.T) {
+	p, err := Assemble(`
+        ; a comment-only line
+start:  addq r1, r2, r3        // trailing comment
+        subq r1, #42, r3
+        lda  r4, 16(r5)
+        ldah r4, -1(r4)
+        ldq  r6, -8(r7)
+        stq  r6, 0(r7)
+        sextb r4, r5
+        ctpop r9, r10
+        beq  r1, start
+        br   r31, done
+        jsr  r26, (r27)
+        ret  r31, (r26)
+done:   halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Instruction{
+		{Op: isa.ADDQ, Ra: 1, Rb: 2, Rc: 3},
+		{Op: isa.SUBQ, Ra: 1, Imm: 42, UseImm: true, Rc: 3},
+		{Op: isa.LDA, Ra: 4, Rb: 5, Imm: 16},
+		{Op: isa.LDAH, Ra: 4, Rb: 4, Imm: -1},
+		{Op: isa.LDQ, Ra: 6, Rb: 7, Imm: -8},
+		{Op: isa.STQ, Ra: 6, Rb: 7, Imm: 0},
+		{Op: isa.SEXTB, Rb: 4, Rc: 5},
+		{Op: isa.CTPOP, Rb: 9, Rc: 10},
+		{Op: isa.BEQ, Ra: 1, Imm: -9},
+		{Op: isa.BR, Ra: 31, Imm: 2},
+		{Op: isa.JSR, Ra: 26, Rb: 27},
+		{Op: isa.RET, Ra: 31, Rb: 26},
+		{Op: isa.HALT},
+	}
+	if len(p.Insts) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(p.Insts), len(want))
+	}
+	for i := range want {
+		if p.Insts[i] != want[i] {
+			t.Errorf("inst %d: got %v (%+v), want %v (%+v)", i, p.Insts[i], p.Insts[i], want[i], want[i])
+		}
+	}
+	if p.Labels["start"] != 0 || p.Labels["done"] != 12 {
+		t.Errorf("labels: %v", p.Labels)
+	}
+}
+
+func TestForwardAndBackwardBranches(t *testing.T) {
+	p, err := Assemble(`
+loop:   subq r1, #1, r1
+        bne  r1, loop
+        beq  r1, end
+        nop
+end:    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[1].Imm != -2 {
+		t.Errorf("backward branch disp = %d, want -2", p.Insts[1].Imm)
+	}
+	if p.Insts[2].Imm != 1 {
+		t.Errorf("forward branch disp = %d, want 1", p.Insts[2].Imm)
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p, err := Assemble(`
+        mov  r1, r2
+        nop
+        clr  r9
+        li   r3, 100
+        li   r4, 1000000
+        li   r5, -70000
+        negq r6, r7
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0] != (isa.Instruction{Op: isa.BIS, Ra: 1, Rb: 1, Rc: 2}) {
+		t.Errorf("mov expansion: %+v", p.Insts[0])
+	}
+	if p.Insts[1] != (isa.Instruction{Op: isa.BIS, Ra: 31, Rb: 31, Rc: 31}) {
+		t.Errorf("nop expansion: %+v", p.Insts[1])
+	}
+	if p.Insts[2] != (isa.Instruction{Op: isa.BIS, Ra: 31, Rb: 31, Rc: 9}) {
+		t.Errorf("clr expansion: %+v", p.Insts[2])
+	}
+	if p.Insts[3] != (isa.Instruction{Op: isa.LDA, Ra: 3, Rb: 31, Imm: 100}) {
+		t.Errorf("small li expansion: %+v", p.Insts[3])
+	}
+	// li r4, 1000000 expands to ldah+lda reconstructing the value.
+	ldah, lda := p.Insts[4], p.Insts[5]
+	if ldah.Op != isa.LDAH || lda.Op != isa.LDA {
+		t.Fatalf("large li expansion ops: %v %v", ldah.Op, lda.Op)
+	}
+	if got := ldah.Imm*65536 + lda.Imm; got != 1000000 {
+		t.Errorf("large li reconstructs %d", got)
+	}
+	ldah, lda = p.Insts[6], p.Insts[7]
+	if got := ldah.Imm*65536 + lda.Imm; got != -70000 {
+		t.Errorf("negative li reconstructs %d", got)
+	}
+	if p.Insts[8] != (isa.Instruction{Op: isa.SUBQ, Ra: 31, Rb: 6, Rc: 7}) {
+		t.Errorf("negq expansion: %+v", p.Insts[8])
+	}
+}
+
+func TestPseudoCountStableAcrossPasses(t *testing.T) {
+	// A label after a multi-instruction pseudo must resolve identically in
+	// both passes.
+	p, err := Assemble(`
+        li   r1, 999999
+after:  beq  r1, after
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["after"] != 2 {
+		t.Errorf("label after li at %d, want 2", p.Labels["after"])
+	}
+	if p.Insts[2].Imm != -1 {
+		t.Errorf("self-branch disp %d, want -1", p.Insts[2].Imm)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p, err := Assemble(`
+        .data 0x1000
+        .quad 1, -1
+        .long 0x12345678
+        .byte 1, 2, 3
+        .space 5
+        .byte 0xff
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Data[0x1000]; len(got) != 8 || got[0] != 1 {
+		t.Errorf("first quad: %v", got)
+	}
+	if got := p.Data[0x1008]; len(got) != 8 || got[0] != 0xff || got[7] != 0xff {
+		t.Errorf("second quad (-1): %v", got)
+	}
+	if got := p.Data[0x1010]; len(got) != 4 || got[0] != 0x78 || got[3] != 0x12 {
+		t.Errorf("long: %v", got)
+	}
+	if got := p.Data[0x1014]; len(got) != 1 || got[0] != 1 {
+		t.Errorf("byte: %v", got)
+	}
+	if got := p.Data[0x101c]; len(got) != 1 || got[0] != 0xff {
+		t.Errorf("byte after space: %v (data map %v)", got, p.Data)
+	}
+}
+
+func TestEntryDirective(t *testing.T) {
+	p, err := Assemble(`
+        .entry main
+        nop
+main:   halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 1 {
+		t.Errorf("entry = %d, want 1", p.Entry)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2, r3",
+		"addq r1, r2",
+		"addq r1, r2, r99",
+		"beq r1, nowhere",
+		"ldq r1, r2",
+		".entry nowhere\nhalt",
+		".data xyz",
+		"dup: nop\ndup: nop",
+		"jsr r26, r27", // missing parens
+		"li r1, 0x1000000000000",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("no error for %q", src)
+		} else if !strings.Contains(err.Error(), "line") {
+			t.Errorf("error without line info for %q: %v", src, err)
+		}
+	}
+}
+
+func TestZeroAlias(t *testing.T) {
+	p, err := Assemble("addq zero, #1, r1\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Ra != isa.RZero {
+		t.Errorf("zero alias: %+v", p.Insts[0])
+	}
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	// Every non-branch instruction printed by isa.Instruction.String must
+	// reassemble to itself (branches print relative displacements, also
+	// accepted).
+	src := `
+        addq r1, r2, r3
+        subq r4, #-7, r5
+        lda r6, 100(r7)
+        ldq r8, -16(r9)
+        stb r10, 3(r11)
+        cmoveq r1, r2, r3
+        beq r1, .+2
+        br r31, .-1
+        ret r31, (r26)
+        halt
+`
+	p1, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, in := range p1.Insts {
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	p2, err := Assemble(b.String())
+	if err != nil {
+		t.Fatalf("reassembling %q: %v", b.String(), err)
+	}
+	if len(p1.Insts) != len(p2.Insts) {
+		t.Fatalf("lengths differ: %d vs %d", len(p1.Insts), len(p2.Insts))
+	}
+	for i := range p1.Insts {
+		if p1.Insts[i] != p2.Insts[i] {
+			t.Errorf("inst %d: %+v vs %+v", i, p1.Insts[i], p2.Insts[i])
+		}
+	}
+}
+
+func TestLeaPseudo(t *testing.T) {
+	p, err := Assemble(`
+        lea  r27, target
+        jsr  r26, (r27)
+        halt
+target: nop
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lea expands to ldah+lda, so target sits at index 4.
+	if p.Labels["target"] != 4 {
+		t.Fatalf("target label at %d", p.Labels["target"])
+	}
+	ldah, lda := p.Insts[0], p.Insts[1]
+	if got := ldah.Imm*65536 + lda.Imm; got != 4 {
+		t.Errorf("lea reconstructs %d, want 4", got)
+	}
+	if _, err := Assemble("lea r1, nowhere\nhalt"); err == nil {
+		t.Error("lea accepted unknown label")
+	}
+}

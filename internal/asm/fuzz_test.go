@@ -1,0 +1,44 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble exercises the assembler's error paths: arbitrary source text
+// must either assemble or return a line-tagged error — never panic, and
+// never produce a program whose instructions fail to re-encode.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"addq r1, r2, r3\nhalt",
+		"loop: subq r1, #1, r1\n bne r1, loop\nhalt",
+		".data 0x1000\n.quad 1, 2\nldq r1, 0(r2)",
+		"lea r1, main\nmain: halt",
+		"li r1, 99999999\nmov r1, r2",
+		"bogus",
+		".entry nowhere",
+		"addq r1, #99999999999999999999, r2",
+		"ldq r1, (r2\n",
+		": : :",
+		"beq r1, .+999999",
+		"\x00\x01\x02",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			if !strings.Contains(err.Error(), "asm:") {
+				t.Errorf("error without package prefix: %v", err)
+			}
+			return
+		}
+		for i, in := range p.Insts {
+			if _, err := in.Encode(); err != nil {
+				t.Errorf("instruction %d (%v) assembled but does not encode: %v", i, in, err)
+			}
+			_ = in.String()
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := New()
+	pc := 100
+	// The global history register changes the gshare index every update, so
+	// train long enough for the history context to saturate and repeat.
+	for i := 0; i < 40; i++ {
+		p.UpdateDirection(pc, true)
+	}
+	if !p.PredictDirection(pc) {
+		t.Error("did not learn always-taken branch")
+	}
+}
+
+func TestLearnsAlwaysNotTaken(t *testing.T) {
+	p := New()
+	pc := 200
+	for i := 0; i < 40; i++ {
+		p.UpdateDirection(pc, false)
+	}
+	if p.PredictDirection(pc) {
+		t.Error("did not learn never-taken branch")
+	}
+}
+
+func TestLearnsAlternatingPatternViaLocalHistory(t *testing.T) {
+	// A strict T/N alternation defeats a plain bimodal counter but is
+	// perfectly predictable from local history; the hybrid must converge.
+	p := New()
+	pc := 300
+	taken := false
+	warmup := 200
+	correct := 0
+	total := 0
+	for i := 0; i < 1000; i++ {
+		pred := p.PredictDirection(pc)
+		if i >= warmup {
+			total++
+			if pred == taken {
+				correct++
+			}
+		}
+		p.UpdateDirection(pc, taken)
+		taken = !taken
+	}
+	if rate := float64(correct) / float64(total); rate < 0.95 {
+		t.Errorf("alternating pattern accuracy %.2f, want >= 0.95", rate)
+	}
+}
+
+func TestLearnsLoopPattern(t *testing.T) {
+	// A loop branch taken 7 times then not taken once (8-iteration loop):
+	// local history should predict the exit.
+	p := New()
+	pc := 400
+	correct, total := 0, 0
+	for iter := 0; iter < 400; iter++ {
+		for i := 0; i < 8; i++ {
+			taken := i < 7
+			pred := p.PredictDirection(pc)
+			if iter >= 50 {
+				total++
+				if pred == taken {
+					correct++
+				}
+			}
+			p.UpdateDirection(pc, taken)
+		}
+	}
+	if rate := float64(correct) / float64(total); rate < 0.95 {
+		t.Errorf("loop pattern accuracy %.2f, want >= 0.95", rate)
+	}
+}
+
+func TestGlobalCorrelation(t *testing.T) {
+	// Branch B is taken exactly when branch A was taken: gshare's global
+	// history should capture it.
+	p := New()
+	r := rand.New(rand.NewSource(60))
+	correct, total := 0, 0
+	for i := 0; i < 4000; i++ {
+		a := r.Intn(2) == 0
+		p.UpdateDirection(500, a)
+		pred := p.PredictDirection(504)
+		if i >= 1000 {
+			total++
+			if pred == a {
+				correct++
+			}
+		}
+		p.UpdateDirection(504, a)
+	}
+	if rate := float64(correct) / float64(total); rate < 0.90 {
+		t.Errorf("correlated branch accuracy %.2f, want >= 0.90", rate)
+	}
+}
+
+func TestBTB(t *testing.T) {
+	p := New()
+	if _, hit := p.PredictTarget(123); hit {
+		t.Error("cold BTB hit")
+	}
+	p.UpdateTarget(123, 456)
+	if tgt, hit := p.PredictTarget(123); !hit || tgt != 456 {
+		t.Errorf("BTB lookup = %d, %v", tgt, hit)
+	}
+	// Retrain with a new target.
+	p.UpdateTarget(123, 789)
+	if tgt, _ := p.PredictTarget(123); tgt != 789 {
+		t.Errorf("BTB retrain = %d", tgt)
+	}
+}
+
+func TestBTBConflictEviction(t *testing.T) {
+	p := New()
+	// Fill one set beyond its associativity; the oldest entry must be
+	// evicted, the newest retained.
+	base := 77
+	for i := 0; i <= btbWays; i++ {
+		p.UpdateTarget(base+i*btbSets, 1000+i)
+	}
+	if _, hit := p.PredictTarget(base); hit {
+		t.Error("LRU victim not evicted")
+	}
+	if tgt, hit := p.PredictTarget(base + btbWays*btbSets); !hit || tgt != 1000+btbWays {
+		t.Errorf("newest entry lost: %d, %v", tgt, hit)
+	}
+}
+
+func TestReturnAddressStack(t *testing.T) {
+	p := New()
+	if _, ok := p.PopReturn(); ok {
+		t.Error("empty RAS popped")
+	}
+	p.PushReturn(10)
+	p.PushReturn(20)
+	if a, ok := p.PopReturn(); !ok || a != 20 {
+		t.Errorf("pop = %d, %v", a, ok)
+	}
+	if a, ok := p.PopReturn(); !ok || a != 10 {
+		t.Errorf("pop = %d, %v", a, ok)
+	}
+	if _, ok := p.PopReturn(); ok {
+		t.Error("RAS underflow not detected")
+	}
+	// Overflow wraps, keeping the most recent rasDepth entries.
+	for i := 0; i < rasDepth+4; i++ {
+		p.PushReturn(i)
+	}
+	if a, _ := p.PopReturn(); a != rasDepth+3 {
+		t.Errorf("after overflow, top = %d", a)
+	}
+}
+
+func TestRandomBranchesNeverPanic(t *testing.T) {
+	p := New()
+	r := rand.New(rand.NewSource(61))
+	for i := 0; i < 100000; i++ {
+		pc := r.Intn(1 << 20)
+		p.PredictDirection(pc)
+		p.UpdateDirection(pc, r.Intn(2) == 0)
+		if r.Intn(4) == 0 {
+			p.UpdateTarget(pc, r.Intn(1<<20))
+			p.PredictTarget(pc)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"repro/internal/bypass"
+	"repro/internal/isa"
+)
+
+// The back end: wakeup (operand availability per the bypass schedules),
+// select-2 issue, execution with Table 3 latencies and the cache hierarchy,
+// bypass-case accounting, and in-order retirement.
+
+// ready reports whether every source of u is obtainable for an EXE starting
+// this cycle, per the availability schedules and cluster delays.
+func (s *Simulator) ready(u *uop, cycle int64) bool {
+	if cycle < u.minExe {
+		return false
+	}
+	if u.memDep >= 0 {
+		// A load (or store) to a quadword written by an older in-flight
+		// store waits for that store to execute; the store queue then
+		// forwards (or orders) the data with no extra delay.
+		d := s.done[u.memDep]
+		if d < 0 || cycle <= d {
+			return false
+		}
+	}
+	for i := int8(0); i < u.nsrc; i++ {
+		p := &s.prod[u.src[i]]
+		if p.t < 0 {
+			return false
+		}
+		off := cycle - p.t
+		if p.cluster != u.cluster {
+			off -= s.cfg.InterClusterDelay
+		}
+		sched := &p.rbSched
+		if u.srcTC[i] {
+			sched = &p.tcSched
+		}
+		if !sched.AvailableAt(off) {
+			return false
+		}
+	}
+	return true
+}
+
+// issue performs wakeup and select for every scheduler, then executes the
+// granted instructions.
+func (s *Simulator) issue(cycle int64) {
+	for si := range s.schedulers {
+		entries := s.schedulers[si]
+		granted := 0
+		kept := entries[:0]
+		for ei := range entries {
+			u := &entries[ei]
+			if granted < s.cfg.SelectWidth && s.ready(u, cycle) {
+				if u.wp {
+					s.executeWrongPath(u, cycle)
+				} else {
+					s.execute(u, cycle)
+				}
+				granted++
+				continue
+			}
+			kept = append(kept, *u)
+		}
+		s.schedulers[si] = kept
+	}
+}
+
+// execute models the granted instruction's execution, records its result
+// availability, and accounts statistics.
+func (s *Simulator) execute(u *uop, cycle int64) {
+	te := &s.trace[u.idx]
+	s.accountBypass(u, cycle)
+
+	exeEnd := cycle + u.latency.Exec - 1
+	switch {
+	case u.isLoad:
+		exeEnd = s.hier.Load(te.EA, cycle+u.latency.Exec-1)
+	case u.isStore:
+		s.hier.Store(te.EA, cycle+u.latency.Exec-1)
+	}
+	s.done[u.idx] = exeEnd
+	if s.stages != nil {
+		s.stages[u.idx].Issue = cycle
+		s.stages[u.idx].Done = exeEnd
+	}
+
+	if u.mispredict && s.fetchBlockedIdx == u.idx {
+		// Branch resolves at the end of execution; wrong-path work is
+		// squashed, and fetch restarts next cycle, refilling the front end.
+		s.squashWrongPath()
+		s.fetchBlockedIdx = -1
+		s.fetchBlockedTill = exeEnd + 1
+		s.lastFetchLine = -1
+	}
+
+	if _, hasDest := te.Inst.Dest(); hasDest {
+		p := &s.prod[u.idx]
+		p.t = exeEnd
+		p.cluster = u.cluster
+		p.outRB = te.Inst.EffectiveClass().Out == isa.FormatRB
+		p.rbSched, p.tcSched = s.cfg.Schedules(u.class)
+		if u.isLoad {
+			// Load data is 2's complement from the cache: seamless for all.
+			full := bypass.FromConfig(bypass.Full(), bypass.RFOffset)
+			p.rbSched, p.tcSched = full, full
+			p.outRB = false
+		}
+	}
+}
+
+// accountBypass classifies the issued instruction's last-arriving source for
+// the Figure-13 distribution and the §5.2 source-locality breakdown.
+func (s *Simulator) accountBypass(u *uop, cycle int64) {
+	if u.nsrc == 0 {
+		s.res.SrcNoBypass++
+		return
+	}
+	var (
+		maxFirst   int64 = -1
+		lastSrc    int   = -1
+		lastOff    int64
+		lastBypass bool
+		anyBypass  bool
+	)
+	for i := int8(0); i < u.nsrc; i++ {
+		p := &s.prod[u.src[i]]
+		delay := int64(0)
+		if p.cluster != u.cluster {
+			delay = s.cfg.InterClusterDelay
+		}
+		sched := p.rbSched
+		if u.srcTC[i] {
+			sched = p.tcSched
+		}
+		first := p.t + delay + sched.NextAvailable(1)
+		off := cycle - p.t - delay
+		viaBypass := !(sched.RFFrom > 0 && off >= int64(sched.RFFrom))
+		if viaBypass {
+			anyBypass = true
+		}
+		if first > maxFirst || (first == maxFirst && viaBypass && !lastBypass) {
+			maxFirst = first
+			lastSrc = int(i)
+			lastOff = off
+			lastBypass = viaBypass
+		}
+	}
+	if anyBypass {
+		s.res.BypassedInstructions++
+	}
+	if lastSrc >= 0 && lastBypass {
+		p := &s.prod[u.src[lastSrc]]
+		var c BypassCase
+		switch {
+		case p.outRB && u.srcTC[lastSrc]:
+			c = RBtoTC
+			s.res.ConversionDelayed++
+		case p.outRB:
+			c = RBtoRB
+		case u.srcTC[lastSrc]:
+			c = TCtoTC
+		default:
+			c = TCtoRB
+		}
+		s.res.LastArriving[c]++
+		if lastOff == 1 {
+			s.res.SrcLevel1++
+		} else {
+			s.res.SrcOtherLevel++
+		}
+	} else {
+		s.res.SrcNoBypass++
+	}
+}
+
+// retire commits finished instructions in order, up to RetireWidth per
+// cycle, and runs the redundant binary datapath check as values commit.
+func (s *Simulator) retire(cycle int64) {
+	n := int32(len(s.trace))
+	for retired := 0; retired < s.cfg.RetireWidth && s.retirePtr < n; retired++ {
+		d := s.done[s.retirePtr]
+		if d < 0 || d >= cycle {
+			return
+		}
+		if s.dpEnabled {
+			s.datapathCheck(int(s.retirePtr))
+		}
+		if s.stages != nil {
+			s.stages[s.retirePtr].Retire = cycle
+		}
+		s.retirePtr++
+		s.inFlight--
+	}
+}

@@ -1,0 +1,317 @@
+// Package core is the cycle-level out-of-order execution core simulator: the
+// machine of paper §5.1. It consumes the committed dynamic instruction
+// stream from the functional emulator and models the paper's pipeline —
+// 6 fetch/decode stages, 2 rename stages, select-2 wakeup-array schedulers
+// over a 128-entry window, 2-cycle register file read, homogeneous pipelined
+// functional units with the Table 3 latencies, redundant binary forwarding
+// with format-conversion delays, limited bypass networks with availability
+// holes, clustered execution for the 8-wide machine, the Table 2 cache
+// hierarchy with SAM-indexed data cache, and a hybrid branch predictor whose
+// mispredictions flush and refill the front end.
+//
+// Substitution note (see DESIGN.md §3): simulation is driven by the
+// committed trace; wrong-path instructions do not contend for resources, but
+// every misprediction still costs the full front-end refill from the
+// resolving branch.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/bypass"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// prodRecord describes when and how one instruction's result becomes
+// available to consumers.
+type prodRecord struct {
+	// t is the cycle the result exists (end of the final EXE stage);
+	// -1 until the producer issues.
+	t int64
+	// rbSched / tcSched are availability schedules (offsets from t) for
+	// RB-capable and TC-requiring consumers.
+	rbSched, tcSched bypass.Schedule
+	// cluster is the producing cluster.
+	cluster int8
+	// outRB marks a redundant binary result (Table 1 output format).
+	outRB bool
+}
+
+// uop is one in-flight instruction in the window.
+type uop struct {
+	idx        int32 // trace index; -1 for wrong-path instructions
+	cluster    int8
+	mispredict bool
+	wp         bool // wrong-path instruction (squashed at branch resolution)
+	isLoad     bool
+	isStore    bool
+	latency    machine.LatencyEntry
+	class      isa.LatencyClass
+	minExe     int64 // earliest EXE-start cycle (dispatch + schedule + RF read)
+	nsrc       int8
+	src        [3]int32 // producer trace indices; -1 = ready at dispatch
+	srcTC      [3]bool  // operand requires the TC schedule
+	memDep     int32    // older memory instruction this one must follow; -1 = none
+	wpEA       uint64   // wrong-path effective address (loads only)
+}
+
+type fetchEntry struct {
+	idx        int32 // trace index; -1 for wrong-path instructions
+	fetchCycle int64
+	mispredict bool
+	wpOp       isa.Op // opcode for wrong-path entries
+	wpIsLoad   bool
+	wpEA       uint64 // wrong-path effective address
+}
+
+// Simulator runs one machine configuration over one trace.
+type Simulator struct {
+	cfg   machine.Config
+	trace []emu.TraceEntry
+	hier  *mem.Hierarchy
+	pred  *branch.Predictor
+
+	prod        []prodRecord
+	done        []int64 // retire-eligibility cycle per trace index; -1 = not finished
+	dispCluster []int8  // cluster each dispatched instruction landed in; -1 = not dispatched
+
+	schedulers [][]uop // pending (unissued) entries per scheduler, in age order
+	fetchQ     []fetchEntry
+	fetchQCap  int
+
+	nextFetch        int32
+	fetchBlockedIdx  int32 // trace index of unresolved mispredicted branch; -1 = none
+	fetchBlockedTill int64
+	lastFetchLine    int64
+	steerCount       int64
+	steerCountTC     int64 // separate stream when class steering is enabled
+
+	retirePtr int32
+	inFlight  int
+
+	// Wrong-path state (machine.Config.ModelWrongPath). shadowRegs and
+	// shadowMem track architectural state in fetch order so the wrong path
+	// executes with real values; wpRegs/wpOverlay hold the speculative state
+	// while a wrong path is active.
+	prog        *isa.Program
+	wpPC        int
+	wpInFlight  int
+	fetchQHasWP bool
+	shadowRegs  [isa.NumRegs]uint64
+	shadowMem   *emu.Memory
+	wpRegs      [isa.NumRegs]uint64
+	wpOverlay   map[uint64]byte
+
+	res *Result
+
+	// stages captures per-instruction pipeline timing when enabled via
+	// RunWithStages (used by the pipeline-diagram renderer).
+	stages []StageRecord
+
+	// Redundant binary datapath state (DatapathCheck).
+	dpRegs    [isa.NumRegs]uint64
+	dpRB      [isa.NumRegs]rbVal
+	dpEnabled bool
+}
+
+// New builds a simulator for a configuration and trace.
+func New(cfg machine.Config, workload string, trace []emu.TraceEntry) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:             cfg,
+		trace:           trace,
+		hier:            mem.MustHierarchy(cfg.Mem),
+		pred:            branch.New(),
+		prod:            make([]prodRecord, len(trace)),
+		done:            make([]int64, len(trace)),
+		schedulers:      make([][]uop, cfg.NumSchedulers),
+		fetchQCap:       int(cfg.FrontLatency+2) * cfg.FrontWidth,
+		fetchBlockedIdx: -1,
+		lastFetchLine:   -1,
+		wpPC:            -1,
+		res:             &Result{Machine: cfg.Name, Workload: workload},
+		dpEnabled:       cfg.DatapathCheck,
+	}
+	s.dispCluster = make([]int8, len(trace))
+	for i := range s.prod {
+		s.prod[i].t = -1
+		s.done[i] = -1
+		s.dispCluster[i] = -1
+	}
+	return s, nil
+}
+
+// Run simulates the trace to completion and returns the results.
+func Run(cfg machine.Config, workload string, trace []emu.TraceEntry) (*Result, error) {
+	s, err := New(cfg, workload, trace)
+	if err != nil {
+		return nil, err
+	}
+	return s.Simulate()
+}
+
+// StageRecord is one instruction's pipeline timing: the cycle it was
+// fetched, entered the window, started execution, finished its final
+// execution stage, and retired. Unreached stages are -1.
+type StageRecord struct {
+	Fetch, Dispatch, Issue, Done, Retire int64
+}
+
+// RunWithStages simulates like Run and also returns per-instruction stage
+// timing, for pipeline-diagram rendering (paper Figures 5 and 7).
+func RunWithStages(cfg machine.Config, workload string, trace []emu.TraceEntry) (*Result, []StageRecord, error) {
+	s, err := New(cfg, workload, trace)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.stages = make([]StageRecord, len(trace))
+	for i := range s.stages {
+		s.stages[i] = StageRecord{Fetch: -1, Dispatch: -1, Issue: -1, Done: -1, Retire: -1}
+	}
+	r, err := s.Simulate()
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, s.stages, nil
+}
+
+// RunProgram traces a program on the functional emulator (bounded by
+// maxInsts) and simulates it. Because the static program image is available,
+// wrong-path modeling (machine.Config.ModelWrongPath) is active if enabled.
+func RunProgram(cfg machine.Config, workload string, prog *isa.Program, maxInsts int64) (*Result, error) {
+	trace, err := emu.Trace(prog, maxInsts)
+	if err != nil {
+		return nil, err
+	}
+	return RunWithProgram(cfg, workload, prog, trace)
+}
+
+// RunWithProgram simulates a pre-computed trace with the static program
+// image available for wrong-path fetching.
+func RunWithProgram(cfg machine.Config, workload string, prog *isa.Program, trace []emu.TraceEntry) (*Result, error) {
+	s, err := New(cfg, workload, trace)
+	if err != nil {
+		return nil, err
+	}
+	s.prog = prog
+	if cfg.ModelWrongPath {
+		s.shadowMem = emu.NewMemory()
+		for addr, bytes := range prog.Data {
+			for i, b := range bytes {
+				s.shadowMem.StoreByte(addr+uint64(i), b)
+			}
+		}
+		s.wpOverlay = make(map[uint64]byte)
+	}
+	return s.Simulate()
+}
+
+// clusterOf maps a scheduler to its cluster.
+func (s *Simulator) clusterOf(sched int) int8 {
+	perCluster := s.cfg.NumSchedulers / s.cfg.Clusters
+	return int8(sched / perCluster)
+}
+
+// Simulate runs the main cycle loop.
+func (s *Simulator) Simulate() (*Result, error) {
+	n := int32(len(s.trace))
+	if n == 0 {
+		return s.res, nil
+	}
+	// Precompute per-entry dependence and classification info.
+	srcIdx, srcTC, nsrc, memDep := s.buildDependences()
+
+	var cycle int64
+	lastProgress := int64(0)
+	lastRetired := int32(0)
+
+	for s.retirePtr < n {
+		s.fetch(cycle)
+		s.dispatch(cycle, srcIdx, srcTC, nsrc, memDep)
+		s.issue(cycle)
+		s.retire(cycle)
+		s.res.OccupancySum += int64(s.inFlight)
+
+		if s.retirePtr != lastRetired {
+			lastRetired = s.retirePtr
+			lastProgress = cycle
+		} else if cycle-lastProgress > 100000 {
+			return nil, fmt.Errorf("core: no retirement progress for 100000 cycles at cycle %d (retired %d/%d)",
+				cycle, s.retirePtr, n)
+		}
+		cycle++
+	}
+	s.res.Cycles = cycle
+	s.res.Instructions = int64(n)
+	s.res.L1I = s.hier.L1I().Stats()
+	s.res.L1D = s.hier.L1D().Stats()
+	s.res.L2 = s.hier.L2().Stats()
+	for _, te := range s.trace {
+		s.res.Table1Counts[isa.ClassOf(te.Inst.Op).Row]++
+	}
+	return s.res, nil
+}
+
+// buildDependences computes, for every trace entry, the trace indices of the
+// producers of its register sources, whether each operand requires the
+// 2's-complement schedule, and — when memory dependences are modeled — the
+// most recent older store a load or store must follow (computed from the
+// trace's exact effective addresses at quadword granularity; real hardware
+// would discover the same orderings in its load/store queue).
+func (s *Simulator) buildDependences() (srcIdx [][3]int32, srcTC [][3]bool, nsrc []int8, memDep []int32) {
+	n := len(s.trace)
+	srcIdx = make([][3]int32, n)
+	srcTC = make([][3]bool, n)
+	nsrc = make([]int8, n)
+	memDep = make([]int32, n)
+	var lastWriter [isa.NumRegs]int32
+	for i := range lastWriter {
+		lastWriter[i] = -1
+	}
+	lastStore := make(map[uint64]int32)
+	var regs [4]isa.Reg
+	for i, te := range s.trace {
+		cls := te.Inst.EffectiveClass()
+		srcs := te.Inst.Srcs(regs[:0])
+		k := 0
+		for si, r := range srcs {
+			p := lastWriter[r]
+			if p < 0 {
+				continue // initial register state: always ready
+			}
+			srcIdx[i][k] = p
+			// An operand needs the TC schedule when the consuming unit
+			// requires 2's complement (Table 1 In=TC) or it is store data
+			// (Table 3: "3 for stores").
+			needTC := cls.In == isa.FormatTC || (cls.IsStore && si == 0)
+			srcTC[i][k] = needTC
+			k++
+		}
+		nsrc[i] = int8(k)
+		memDep[i] = -1
+		if s.cfg.MemoryDependence && cls.IsMemory() {
+			q0 := te.EA >> 3
+			q1 := (te.EA + 7) >> 3
+			if p, ok := lastStore[q0]; ok {
+				memDep[i] = p
+			}
+			if p, ok := lastStore[q1]; ok && p > memDep[i] {
+				memDep[i] = p
+			}
+			if cls.IsStore {
+				lastStore[q0] = int32(i)
+				lastStore[q1] = int32(i)
+			}
+		}
+		if d, ok := te.Inst.Dest(); ok {
+			lastWriter[d] = int32(i)
+		}
+	}
+	return srcIdx, srcTC, nsrc, memDep
+}

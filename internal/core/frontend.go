@@ -1,0 +1,226 @@
+package core
+
+import (
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// The front end: instruction fetch with branch prediction and I-cache
+// timing, and in-order dispatch into the partitioned schedulers (the 6
+// fetch/decode + 2 rename stages of the paper's pipeline, plus steering).
+
+// fetch models the front end for one cycle: up to FrontWidth instructions
+// from up to MaxFetchBlocks basic blocks, stalled by instruction cache
+// misses and unresolved branch mispredictions.
+func (s *Simulator) fetch(cycle int64) {
+	if cycle < s.fetchBlockedTill {
+		return
+	}
+	if s.fetchBlockedIdx >= 0 {
+		// An unresolved misprediction: either stall (base model) or keep
+		// fetching down the predicted wrong path.
+		if s.cfg.ModelWrongPath && s.prog != nil {
+			s.fetchWrongPath(cycle)
+		}
+		return
+	}
+	n := int32(len(s.trace))
+	fetched := 0
+	blocks := 1
+	for fetched < s.cfg.FrontWidth && s.nextFetch < n && len(s.fetchQ) < s.fetchQCap {
+		te := &s.trace[s.nextFetch]
+		// Instruction cache: one access per line (8-byte instructions).
+		line := int64(te.PC) * 8 >> 6
+		if line != s.lastFetchLine {
+			doneAt := s.hier.Fetch(uint64(te.PC)*8, cycle)
+			s.lastFetchLine = line
+			if doneAt > cycle+s.cfg.Mem.L1ILatency {
+				// Miss: fetch resumes when the line arrives.
+				s.fetchBlockedTill = doneAt
+				return
+			}
+		}
+		mispredict := s.predictBranch(te)
+		if s.stages != nil {
+			s.stages[s.nextFetch].Fetch = cycle
+		}
+		s.fetchQ = append(s.fetchQ, fetchEntry{idx: s.nextFetch, fetchCycle: cycle, mispredict: mispredict})
+		s.updateShadow(te)
+		s.nextFetch++
+		fetched++
+		if mispredict {
+			s.fetchBlockedIdx = s.nextFetch - 1
+			return
+		}
+		if te.Taken {
+			s.lastFetchLine = -1 // next instruction is on a new fetch path
+			blocks++
+			if blocks > s.cfg.MaxFetchBlocks {
+				return
+			}
+		}
+	}
+}
+
+// predictBranch consults and trains the predictor for a branch at fetch
+// time, returning whether the front end will follow the wrong path (and so
+// must stall until the branch resolves).
+func (s *Simulator) predictBranch(te *emu.TraceEntry) bool {
+	cls := isa.ClassOf(te.Inst.Op)
+	switch {
+	case cls.IsCondBranch:
+		s.res.Branches++
+		pred := s.pred.PredictDirection(te.PC)
+		s.pred.UpdateDirection(te.PC, te.Taken)
+		tgt, hit := s.pred.PredictTarget(te.PC)
+		if te.Taken {
+			s.pred.UpdateTarget(te.PC, te.NextPC)
+		}
+		if pred != te.Taken {
+			s.res.BranchMispredicts++
+			s.startWrongPath(s.predictedWrongTarget(te.PC, te.Taken, pred, tgt, hit))
+			return true
+		}
+		if te.Taken {
+			if !hit || tgt != te.NextPC {
+				s.res.BranchMispredicts++
+				if hit {
+					s.startWrongPath(tgt) // fetched the stale target
+				} else {
+					s.startWrongPath(-1)
+				}
+				return true
+			}
+		}
+		return false
+	case te.Inst.Op == isa.BR || te.Inst.Op == isa.BSR:
+		// Direct targets resolve in decode; treated as correctly fetched.
+		if te.Inst.Op == isa.BSR {
+			s.pred.PushReturn(te.PC + 1)
+		}
+		return false
+	case te.Inst.Op == isa.RET:
+		s.res.Branches++
+		tgt, ok := s.pred.PopReturn()
+		if !ok || tgt != te.NextPC {
+			s.res.BranchMispredicts++
+			if ok {
+				s.startWrongPath(tgt)
+			} else {
+				s.startWrongPath(-1)
+			}
+			return true
+		}
+		return false
+	case cls.IsIndirect: // JMP/JSR via BTB
+		s.res.Branches++
+		if te.Inst.Op == isa.JSR {
+			s.pred.PushReturn(te.PC + 1)
+		}
+		tgt, hit := s.pred.PredictTarget(te.PC)
+		s.pred.UpdateTarget(te.PC, te.NextPC)
+		if !hit || tgt != te.NextPC {
+			s.res.BranchMispredicts++
+			if hit {
+				s.startWrongPath(tgt)
+			} else {
+				s.startWrongPath(-1)
+			}
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// dispatch moves instructions from the front-end queue into the schedulers.
+func (s *Simulator) dispatch(cycle int64, srcIdx [][3]int32, srcTC [][3]bool, nsrc []int8, memDep []int32) {
+	dispatched := 0
+	for len(s.fetchQ) > 0 && dispatched < s.cfg.FrontWidth {
+		fe := s.fetchQ[0]
+		if fe.fetchCycle+s.cfg.FrontLatency > cycle {
+			return // still in fetch/decode/rename
+		}
+		if s.inFlight >= s.cfg.WindowSize {
+			return // window full
+		}
+		if fe.idx < 0 {
+			if !s.dispatchWrongPath(fe, cycle) {
+				return
+			}
+			s.fetchQ = s.fetchQ[1:]
+			dispatched++
+			continue
+		}
+		te := &s.trace[fe.idx]
+		cls := te.Inst.EffectiveClass()
+		sched := s.steerTarget(cls, srcIdx[fe.idx], nsrc[fe.idx])
+		if len(s.schedulers[sched]) >= s.cfg.SchedulerSize {
+			return // in-order dispatch stalls on a full scheduler
+		}
+		u := uop{
+			idx:        fe.idx,
+			cluster:    s.clusterOf(sched),
+			mispredict: fe.mispredict,
+			isLoad:     cls.IsLoad,
+			isStore:    cls.IsStore,
+			latency:    s.cfg.Latency(cls.Latency),
+			class:      cls.Latency,
+			minExe:     cycle + s.cfg.IssueToExecute,
+			nsrc:       nsrc[fe.idx],
+			src:        srcIdx[fe.idx],
+			srcTC:      srcTC[fe.idx],
+			memDep:     memDep[fe.idx],
+		}
+		if s.stages != nil {
+			s.stages[fe.idx].Dispatch = cycle
+		}
+		s.schedulers[sched] = append(s.schedulers[sched], u)
+		s.dispCluster[fe.idx] = u.cluster
+		s.fetchQ = s.fetchQ[1:]
+		if s.cfg.ClassSchedulers && cls.In == isa.FormatTC {
+			s.steerCountTC++
+		} else {
+			s.steerCount++
+		}
+		s.inFlight++
+		dispatched++
+	}
+}
+
+// steerTarget picks the scheduler for the next dispatched instruction.
+// Default: round-robin of consecutive pairs over all schedulers (§5.1).
+// With ClassSchedulers (the first scheduling technique of §4.3), TC-input
+// instructions go to the upper half of the schedulers and RB-capable ones to
+// the lower half, each half round-robin — "the use of separate schedulers is
+// warranted since these two classes of instructions execute on different
+// functional units"; the 2-cycle latching of wakeup broadcasts between the
+// two groups is the tcIn availability schedule.
+func (s *Simulator) steerTarget(cls isa.Class, src [3]int32, nsrc int8) int {
+	if s.cfg.DependenceSteering && s.cfg.Clusters > 1 && nsrc > 0 {
+		// Paper §4.2 closes by pointing at instruction steering as the way
+		// to tolerate further bypass restrictions; this implements the
+		// standard dependence-based policy: place an instruction in its
+		// first producer's cluster (falling back to round-robin), choosing
+		// the emptier scheduler within the cluster.
+		if c := s.dispCluster[src[0]]; c >= 0 {
+			perCluster := s.cfg.NumSchedulers / s.cfg.Clusters
+			best := int(c) * perCluster
+			for i := 1; i < perCluster; i++ {
+				cand := int(c)*perCluster + i
+				if len(s.schedulers[cand]) < len(s.schedulers[best]) {
+					best = cand
+				}
+			}
+			return best
+		}
+	}
+	if s.cfg.ClassSchedulers && s.cfg.NumSchedulers >= 2 {
+		half := s.cfg.NumSchedulers / 2
+		if cls.In == isa.FormatTC {
+			return half + int(s.steerCountTC/2)%(s.cfg.NumSchedulers-half)
+		}
+		return int(s.steerCount/2) % half
+	}
+	return int(s.steerCount/2) % s.cfg.NumSchedulers
+}

@@ -1,0 +1,59 @@
+package emu
+
+// pageBits selects a 4KiB sparse page granularity.
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Memory is a sparse, byte-addressed, little-endian memory. Unwritten
+// locations read as zero.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+	key := addr >> pageBits
+	p := m.pages[key]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// LoadByte reads one byte.
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// StoreByte writes one byte.
+func (m *Memory) StoreByte(addr uint64, v byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = v
+}
+
+// Read reads size bytes (1..8) little-endian.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.LoadByte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write writes size bytes (1..8) little-endian.
+func (m *Memory) Write(addr uint64, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		m.StoreByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// FootprintBytes reports how many pages have been touched, in bytes.
+func (m *Memory) FootprintBytes() int { return len(m.pages) * pageSize }

@@ -1,0 +1,119 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5): the instruction-classification measurement (Table 1), the
+// machine configuration and latency tables (Tables 2 and 3), the four IPC
+// bar charts (Figures 9-12), the bypass-case distribution (Figure 13), and
+// the limited-bypass harmonic-mean study (Figure 14), plus the headline
+// percentage claims of §5.2. See DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// resultCache memoizes simulation runs: every run is deterministic, and the
+// figures and the §5.2 summary reuse each other's cells.
+var resultCache sync.Map // "machine|workload" -> *core.Result
+
+// runOne simulates one (machine, workload) cell, memoized.
+func runOne(cfg machine.Config, w *workload.Workload) (*core.Result, error) {
+	key := cfg.Name + "|" + w.Name
+	if r, ok := resultCache.Load(key); ok {
+		return r.(*core.Result), nil
+	}
+	trace, err := w.Trace()
+	if err != nil {
+		return nil, err
+	}
+	r, err := core.Run(cfg, w.Name, trace)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
+	}
+	resultCache.Store(key, r)
+	return r, nil
+}
+
+// runMatrix simulates every (config, workload) pair in parallel and returns
+// results indexed by config name then workload name.
+func runMatrix(cfgs []machine.Config, wls []*workload.Workload) (map[string]map[string]*core.Result, error) {
+	type job struct {
+		cfg machine.Config
+		w   *workload.Workload
+	}
+	jobs := make(chan job)
+	var mu sync.Mutex
+	out := make(map[string]map[string]*core.Result, len(cfgs))
+	for _, c := range cfgs {
+		out[c.Name] = make(map[string]*core.Result, len(wls))
+	}
+	var firstErr error
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cfgs)*len(wls) {
+		workers = len(cfgs) * len(wls)
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r, err := runOne(j.cfg, j.w)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err == nil {
+					out[j.cfg.Name][j.w.Name] = r
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	// Pre-trace workloads serially: traces are cached and shared between
+	// cells, and doing it here avoids duplicate work behind the cache mutex.
+	for _, w := range wls {
+		if _, err := w.Trace(); err != nil {
+			close(jobs)
+			return nil, err
+		}
+	}
+	for _, c := range cfgs {
+		for _, w := range wls {
+			jobs <- job{cfg: c, w: w}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// suiteWorkloads resolves a suite name to its workloads.
+func suiteWorkloads(suite string) []*workload.Workload {
+	switch suite {
+	case "SPECint95":
+		return workload.SPECint95()
+	case "SPECint2000":
+		return workload.SPECint2000()
+	default:
+		return workload.All()
+	}
+}
+
+func workloadNames(wls []*workload.Workload) []string {
+	names := make([]string, len(wls))
+	for i, w := range wls {
+		names[i] = w.Name
+	}
+	sort.Strings(names)
+	return names
+}

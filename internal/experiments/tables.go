@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// RenderTable2 writes the machine configuration (paper Table 2) as realized
+// by this reproduction, reading the values from the actual configuration
+// structures so the table cannot drift from the code.
+func RenderTable2(w io.Writer) error {
+	fmt.Fprintf(w, "Table 2. Machine configuration\n\n")
+	c4, c8 := machine.NewIdeal(4), machine.NewIdeal(8)
+	m := c8.Mem
+	t := &stats.Table{Headers: []string{"component", "configuration"}}
+	t.AddRow("Branch predictor", "48KB hybrid gshare/PAs, 4096-entry BTB, 2 basic blocks per cycle fetched")
+	t.AddRow("Decode, rename, issue width", fmt.Sprintf("%d instructions", c8.FrontWidth))
+	t.AddRow("Instruction cache", fmt.Sprintf("%dKB %d-way set associative (pipelined), %d-cycle access",
+		m.L1I.SizeBytes>>10, m.L1I.Ways, m.L1ILatency))
+	t.AddRow("Instruction window", fmt.Sprintf("%d reservation station entries", c8.WindowSize))
+	t.AddRow("Execution width", fmt.Sprintf("%d or %d functional units", c4.Width, c8.Width))
+	t.AddRow("Schedulers", fmt.Sprintf("4-wide: %d x %d entries; 8-wide: %d x %d entries, select-%d",
+		c4.NumSchedulers, c4.SchedulerSize, c8.NumSchedulers, c8.SchedulerSize, c8.SelectWidth))
+	t.AddRow("Clusters", fmt.Sprintf("8-wide: %d clusters, %d-cycle inter-cluster forwarding",
+		c8.Clusters, c8.InterClusterDelay))
+	t.AddRow("Data cache", fmt.Sprintf("%dKB %d-way set associative (pipelined), SAM-indexed",
+		m.L1D.SizeBytes>>10, m.L1D.Ways))
+	t.AddRow("Unified L2 cache", fmt.Sprintf("%dMB, %d-way, %d-cycle access, contention for %d banks modeled",
+		m.L2.SizeBytes>>20, m.L2.Ways, m.L2Latency, m.L2Banks))
+	t.AddRow("Memory", fmt.Sprintf("%d-cycle access, contention for %d banks modeled", m.MemLatency, m.MemBanks))
+	t.AddRow("Pipeline", fmt.Sprintf("minimum %d cycles (6 fetch/decode, 2 rename, 1 schedule, 2 RF read, 1+ execute, 1 retire)",
+		c8.MinPipeline()))
+	return t.Render(w)
+}
+
+// RenderTable3 writes the instruction-class latency table (paper Table 3)
+// from the live machine configurations.
+func RenderTable3(w io.Writer) error {
+	fmt.Fprintf(w, "Table 3. Instruction class latencies\n\n")
+	base, rb, ideal := machine.NewBaseline(8), machine.NewRBFull(8), machine.NewIdeal(8)
+	t := &stats.Table{Headers: []string{"instruction class", "Base", "RB (TC result)", "Ideal"}}
+	classes := []isa.LatencyClass{
+		isa.LatIntArith, isa.LatIntLogical, isa.LatShiftLeft, isa.LatShiftRight,
+		isa.LatIntCompare, isa.LatByteManip, isa.LatIntMul, isa.LatFPArith,
+		isa.LatFPDiv, isa.LatMemory,
+	}
+	for _, cls := range classes {
+		b := base.Latency(cls)
+		r := rb.Latency(cls)
+		i := ideal.Latency(cls)
+		rbCell := fmt.Sprintf("%d", r.Exec)
+		if r.TCExtra > 0 {
+			rbCell = fmt.Sprintf("%d (%d)", r.Exec, r.Exec+r.TCExtra)
+		}
+		if cls == isa.LatMemory {
+			rbCell += " (3 for stores: data needs TC)"
+		}
+		t.AddRow(cls.String(), fmt.Sprintf("%d", b.Exec), rbCell, fmt.Sprintf("%d", i.Exec))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\ndcache latency: %d cycles on all machines\n", machine.NewIdeal(8).Mem.L1DLatency)
+	return nil
+}

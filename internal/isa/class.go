@@ -1,0 +1,183 @@
+package isa
+
+// Format describes the number representation an operand position accepts or
+// a result is produced in (paper Table 1).
+type Format uint8
+
+const (
+	// FormatNone marks instructions with no register result (stores,
+	// conditional branches).
+	FormatNone Format = iota
+	// FormatRB marks operands that may arrive in either redundant binary or
+	// 2's complement ("RB" in Table 1: RB-capable units also accept TC), and
+	// results produced in redundant binary form that must pass through a
+	// format converter before a TC consumer or the TC register file can use
+	// them.
+	FormatRB
+	// FormatTC marks operands that must be in 2's complement and results
+	// produced directly in 2's complement.
+	FormatTC
+)
+
+// String names the format ("RB", "TC", or "none").
+func (f Format) String() string {
+	switch f {
+	case FormatRB:
+		return "RB"
+	case FormatTC:
+		return "TC"
+	default:
+		return "none"
+	}
+}
+
+// LatencyClass is a row of paper Table 3; machines assign execution latencies
+// per class.
+type LatencyClass uint8
+
+const (
+	LatIntArith   LatencyClass = iota // integer arithmetic (add/sub/scaled/LDA/CMOV)
+	LatIntLogical                     // integer logical
+	LatShiftLeft                      // integer shift left
+	LatShiftRight                     // integer shift right
+	LatIntCompare                     // integer compare
+	LatByteManip                      // byte manipulation
+	LatIntMul                         // integer multiply
+	LatFPArith                        // fp arithmetic
+	LatFPDiv                          // fp divide
+	LatMemory                         // loads and stores (SAM address generation)
+	LatBranch                         // conditional branches and jumps (resolve in EXE)
+	NumLatencyClasses
+)
+
+var latencyClassNames = [...]string{
+	LatIntArith: "integer arithmetic", LatIntLogical: "integer logical",
+	LatShiftLeft: "integer shift left", LatShiftRight: "integer shift right",
+	LatIntCompare: "integer compare", LatByteManip: "byte manipulation",
+	LatIntMul: "integer multiply", LatFPArith: "fp arithmetic",
+	LatFPDiv: "fp divide", LatMemory: "loads, stores (SAM decoder)",
+	LatBranch: "branch",
+}
+
+// String returns the Table 3 row label.
+func (c LatencyClass) String() string {
+	if int(c) < len(latencyClassNames) {
+		return latencyClassNames[c]
+	}
+	return "unknown"
+}
+
+// Table1Row identifies the row of paper Table 1 an instruction belongs to,
+// used to reproduce the instruction-classification measurement.
+type Table1Row uint8
+
+const (
+	Row1ArithRBRB  Table1Row = iota // ADD, SUB, MUL, LDA, LDAH, CMOVLBx, SxADD, SxSUB, SLL -> RB/RB
+	Row2CMOVSign                    // CMOVLT, CMOVGE, CMOVLE, CMOVGT -> RB/RB (sign-test logic)
+	Row3CMOVZero                    // CMOVEQ, CMOVNE -> RB/RB (zero test)
+	Row4Memory                      // loads and stores -> RB in, TC out
+	Row5CMPEQ                       // CMPEQ -> RB in, TC out
+	Row6Compare                     // CMPLT, CMPLE, CMPULT, CMPULE -> RB in, TC out
+	Row7CondBranch                  // conditional branches -> RB in, no result
+	Row8Other                       // everything else -> TC in, TC out
+	NumTable1Rows
+)
+
+var table1RowNames = [...]string{
+	Row1ArithRBRB:  "ADD/SUB/MUL/LDA/LDAH/CMOVLBx/SxADD/SxSUB/SLL",
+	Row2CMOVSign:   "CMOVLT/CMOVGE/CMOVLE/CMOVGT",
+	Row3CMOVZero:   "CMOVEQ/CMOVNE",
+	Row4Memory:     "memory access",
+	Row5CMPEQ:      "CMPEQ",
+	Row6Compare:    "CMPLT/CMPLE/CMPULT/CMPULE",
+	Row7CondBranch: "conditional branches",
+	Row8Other:      "other",
+}
+
+// String returns the Table 1 row label.
+func (r Table1Row) String() string {
+	if int(r) < len(table1RowNames) {
+		return table1RowNames[r]
+	}
+	return "unknown"
+}
+
+// Class bundles the paper's per-instruction classification.
+type Class struct {
+	// In is the operand format requirement: FormatRB means the instruction's
+	// functional unit accepts redundant binary (or TC) sources; FormatTC
+	// means every source must be 2's complement.
+	In Format
+	// Out is the result format: FormatRB results need conversion before TC
+	// consumers can use them; FormatNone means no register result.
+	Out Format
+	// Latency is the Table 3 row used to look up the execution latency.
+	Latency LatencyClass
+	// Row is the Table 1 classification row.
+	Row Table1Row
+	// IsLoad, IsStore, IsCondBranch, IsUncondBranch, IsIndirect flag the
+	// structural behavior used by the pipeline model.
+	IsLoad, IsStore, IsCondBranch, IsUncondBranch, IsIndirect bool
+}
+
+// IsBranch reports whether the instruction redirects control flow.
+func (c Class) IsBranch() bool { return c.IsCondBranch || c.IsUncondBranch || c.IsIndirect }
+
+// IsMemory reports whether the instruction accesses data memory.
+func (c Class) IsMemory() bool { return c.IsLoad || c.IsStore }
+
+var classes = buildClasses()
+
+func buildClasses() [NumOps]Class {
+	var t [NumOps]Class
+	set := func(c Class, ops ...Op) {
+		for _, op := range ops {
+			t[op] = c
+		}
+	}
+	// Row 1: RB in, RB out.
+	set(Class{In: FormatRB, Out: FormatRB, Latency: LatIntArith, Row: Row1ArithRBRB},
+		ADDQ, ADDL, SUBQ, SUBL, S4ADDQ, S8ADDQ, S4SUBQ, S8SUBQ, LDA, LDAH)
+	set(Class{In: FormatRB, Out: FormatRB, Latency: LatIntMul, Row: Row1ArithRBRB}, MULQ, MULL)
+	set(Class{In: FormatRB, Out: FormatRB, Latency: LatShiftLeft, Row: Row1ArithRBRB}, SLL)
+	set(Class{In: FormatRB, Out: FormatRB, Latency: LatIntArith, Row: Row1ArithRBRB}, CMOVLBS, CMOVLBC)
+	// Rows 2 and 3: conditional moves with sign/zero tests, RB in/out.
+	set(Class{In: FormatRB, Out: FormatRB, Latency: LatIntArith, Row: Row2CMOVSign},
+		CMOVLT, CMOVGE, CMOVLE, CMOVGT)
+	set(Class{In: FormatRB, Out: FormatRB, Latency: LatIntArith, Row: Row3CMOVZero}, CMOVEQ, CMOVNE)
+	// Row 4: memory. Address computation accepts RB (SAM); loaded data is TC.
+	set(Class{In: FormatRB, Out: FormatTC, Latency: LatMemory, Row: Row4Memory, IsLoad: true}, LDQ, LDL, LDBU)
+	set(Class{In: FormatRB, Out: FormatNone, Latency: LatMemory, Row: Row4Memory, IsStore: true}, STQ, STL, STB)
+	// Rows 5 and 6: compares, RB in, TC out (result is 0/1).
+	set(Class{In: FormatRB, Out: FormatTC, Latency: LatIntCompare, Row: Row5CMPEQ}, CMPEQ)
+	set(Class{In: FormatRB, Out: FormatTC, Latency: LatIntCompare, Row: Row6Compare},
+		CMPLT, CMPLE, CMPULT, CMPULE)
+	// Row 7: conditional branches, RB in, no result.
+	set(Class{In: FormatRB, Out: FormatNone, Latency: LatBranch, Row: Row7CondBranch, IsCondBranch: true},
+		BEQ, BNE, BLT, BGE, BLE, BGT, BLBC, BLBS)
+	// Row 8: everything else is TC in, TC out.
+	set(Class{In: FormatTC, Out: FormatTC, Latency: LatIntLogical, Row: Row8Other},
+		AND, BIS, XOR, BIC, ORNOT, EQV)
+	// CTTZ can execute on RB inputs (paper §3.6); CTLZ and CTPOP cannot.
+	set(Class{In: FormatRB, Out: FormatTC, Latency: LatIntLogical, Row: Row8Other}, CTTZ)
+	set(Class{In: FormatTC, Out: FormatTC, Latency: LatIntLogical, Row: Row8Other}, CTLZ, CTPOP)
+	set(Class{In: FormatTC, Out: FormatTC, Latency: LatShiftRight, Row: Row8Other}, SRL, SRA)
+	set(Class{In: FormatTC, Out: FormatTC, Latency: LatByteManip, Row: Row8Other},
+		EXTBL, INSBL, MSKBL, ZAPNOT, SEXTB, SEXTW)
+	set(Class{In: FormatTC, Out: FormatTC, Latency: LatFPArith, Row: Row8Other}, ADDT, SUBT, MULT)
+	set(Class{In: FormatTC, Out: FormatTC, Latency: LatFPDiv, Row: Row8Other}, DIVT)
+	// Unconditional control flow writes a TC return address. The paper folds
+	// these into "Other"; their branch behavior is flagged separately.
+	set(Class{In: FormatTC, Out: FormatTC, Latency: LatBranch, Row: Row8Other, IsUncondBranch: true}, BR, BSR)
+	set(Class{In: FormatTC, Out: FormatTC, Latency: LatBranch, Row: Row8Other, IsUncondBranch: true, IsIndirect: true}, JMP, JSR, RET)
+	set(Class{In: FormatTC, Out: FormatNone, Latency: LatIntLogical, Row: Row8Other}, HALT)
+	return t
+}
+
+// ClassOf returns the paper classification of an opcode.
+func ClassOf(op Op) Class {
+	if int(op) >= NumOps {
+		return Class{}
+	}
+	return classes[op]
+}

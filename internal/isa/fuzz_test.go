@@ -1,0 +1,29 @@
+package isa
+
+import "testing"
+
+// FuzzDecode: arbitrary 64-bit words either decode into an instruction that
+// re-encodes to the canonical form, or error — never panic.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1) << 56)
+	f.Add(^uint64(0))
+	f.Add(uint64(ADDQ)<<56 | 0x12345678)
+	f.Fuzz(func(t *testing.T, w uint64) {
+		in, err := Decode(w)
+		if err != nil {
+			return
+		}
+		re, err := in.Encode()
+		if err != nil {
+			t.Fatalf("decoded %#x but cannot re-encode: %v", w, err)
+		}
+		back, err := Decode(re)
+		if err != nil || back != in {
+			t.Fatalf("canonical re-decode mismatch for %#x", w)
+		}
+		_ = in.String()
+		_ = in.Srcs(nil)
+		_, _ = in.Dest()
+	})
+}

@@ -1,0 +1,264 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allOps() []Op {
+	ops := make([]Op, 0, NumOps-1)
+	for op := Op(1); int(op) < NumOps; op++ {
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+func TestEveryOpHasNameAndClass(t *testing.T) {
+	seen := map[string]Op{}
+	for _, op := range allOps() {
+		name := op.String()
+		if name == "" || name == "invalid" {
+			t.Errorf("op %d has no name", op)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("ops %v and %v share mnemonic %q", prev, op, name)
+		}
+		seen[name] = op
+		back, ok := OpByName(name)
+		if !ok || back != op {
+			t.Errorf("OpByName(%q) = %v, %v", name, back, ok)
+		}
+		c := ClassOf(op)
+		if c.In == FormatNone && op != OpInvalid {
+			t.Errorf("%v has no input format classification", op)
+		}
+	}
+}
+
+func TestTable1Classification(t *testing.T) {
+	// Spot-check the rows of paper Table 1.
+	cases := []struct {
+		op  Op
+		in  Format
+		out Format
+		row Table1Row
+	}{
+		{ADDQ, FormatRB, FormatRB, Row1ArithRBRB},
+		{SUBQ, FormatRB, FormatRB, Row1ArithRBRB},
+		{MULQ, FormatRB, FormatRB, Row1ArithRBRB},
+		{LDA, FormatRB, FormatRB, Row1ArithRBRB},
+		{LDAH, FormatRB, FormatRB, Row1ArithRBRB},
+		{S4ADDQ, FormatRB, FormatRB, Row1ArithRBRB},
+		{S8SUBQ, FormatRB, FormatRB, Row1ArithRBRB},
+		{SLL, FormatRB, FormatRB, Row1ArithRBRB},
+		{CMOVLBS, FormatRB, FormatRB, Row1ArithRBRB},
+		{CMOVLT, FormatRB, FormatRB, Row2CMOVSign},
+		{CMOVGT, FormatRB, FormatRB, Row2CMOVSign},
+		{CMOVEQ, FormatRB, FormatRB, Row3CMOVZero},
+		{CMOVNE, FormatRB, FormatRB, Row3CMOVZero},
+		{LDQ, FormatRB, FormatTC, Row4Memory},
+		{STQ, FormatRB, FormatNone, Row4Memory},
+		{CMPEQ, FormatRB, FormatTC, Row5CMPEQ},
+		{CMPLT, FormatRB, FormatTC, Row6Compare},
+		{CMPULE, FormatRB, FormatTC, Row6Compare},
+		{BEQ, FormatRB, FormatNone, Row7CondBranch},
+		{BGT, FormatRB, FormatNone, Row7CondBranch},
+		{AND, FormatTC, FormatTC, Row8Other},
+		{XOR, FormatTC, FormatTC, Row8Other},
+		{SRA, FormatTC, FormatTC, Row8Other},
+		{EXTBL, FormatTC, FormatTC, Row8Other},
+		{CTLZ, FormatTC, FormatTC, Row8Other},
+		{CTPOP, FormatTC, FormatTC, Row8Other},
+		{CTTZ, FormatRB, FormatTC, Row8Other}, // executable on RB inputs, §3.6
+	}
+	for _, c := range cases {
+		got := ClassOf(c.op)
+		if got.In != c.in || got.Out != c.out || got.Row != c.row {
+			t.Errorf("%v: class (%v,%v,row %v), want (%v,%v,row %v)",
+				c.op, got.In, got.Out, got.Row, c.in, c.out, c.row)
+		}
+	}
+}
+
+func TestLatencyClasses(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want LatencyClass
+	}{
+		{ADDQ, LatIntArith}, {LDA, LatIntArith}, {CMOVLT, LatIntArith},
+		{AND, LatIntLogical}, {SLL, LatShiftLeft}, {SRA, LatShiftRight},
+		{CMPEQ, LatIntCompare}, {EXTBL, LatByteManip}, {MULQ, LatIntMul},
+		{ADDT, LatFPArith}, {DIVT, LatFPDiv}, {LDQ, LatMemory}, {STQ, LatMemory},
+		{BEQ, LatBranch}, {RET, LatBranch},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.op).Latency; got != c.want {
+			t.Errorf("%v latency class %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestStructuralFlags(t *testing.T) {
+	if c := ClassOf(LDQ); !c.IsLoad || c.IsStore || !c.IsMemory() {
+		t.Error("LDQ flags wrong")
+	}
+	if c := ClassOf(STB); !c.IsStore || c.IsLoad {
+		t.Error("STB flags wrong")
+	}
+	if c := ClassOf(BNE); !c.IsCondBranch || !c.IsBranch() {
+		t.Error("BNE flags wrong")
+	}
+	if c := ClassOf(BR); !c.IsUncondBranch || c.IsIndirect {
+		t.Error("BR flags wrong")
+	}
+	if c := ClassOf(RET); !c.IsIndirect || !c.IsBranch() {
+		t.Error("RET flags wrong")
+	}
+	if c := ClassOf(ADDQ); c.IsBranch() || c.IsMemory() {
+		t.Error("ADDQ flags wrong")
+	}
+}
+
+func TestDestAndSrcs(t *testing.T) {
+	cases := []struct {
+		in       Instruction
+		wantDest Reg
+		hasDest  bool
+		wantSrcs []Reg
+	}{
+		{Instruction{Op: ADDQ, Ra: 1, Rb: 2, Rc: 3}, 3, true, []Reg{1, 2}},
+		{Instruction{Op: ADDQ, Ra: 1, Imm: 7, UseImm: true, Rc: 3}, 3, true, []Reg{1}},
+		{Instruction{Op: ADDQ, Ra: 1, Rb: 2, Rc: RZero}, 0, false, []Reg{1, 2}},
+		{Instruction{Op: ADDQ, Ra: RZero, Rb: 2, Rc: 3}, 3, true, []Reg{2}},
+		{Instruction{Op: LDA, Ra: 4, Rb: 5, Imm: 16}, 4, true, []Reg{5}},
+		{Instruction{Op: LDQ, Ra: 6, Rb: 7, Imm: 8}, 6, true, []Reg{7}},
+		{Instruction{Op: STQ, Ra: 6, Rb: 7, Imm: 8}, 0, false, []Reg{6, 7}},
+		{Instruction{Op: BEQ, Ra: 9, Imm: -4}, 0, false, []Reg{9}},
+		{Instruction{Op: BSR, Ra: 26, Imm: 10}, 26, true, nil},
+		{Instruction{Op: RET, Ra: RZero, Rb: 26}, 0, false, []Reg{26}},
+		{Instruction{Op: JSR, Ra: 26, Rb: 27}, 26, true, []Reg{27}},
+		{Instruction{Op: CMOVEQ, Ra: 1, Rb: 2, Rc: 3}, 3, true, []Reg{1, 2, 3}},
+		{Instruction{Op: SEXTB, Rb: 4, Rc: 5}, 5, true, []Reg{4}},
+		{Instruction{Op: HALT}, 0, false, nil},
+	}
+	for _, c := range cases {
+		d, ok := c.in.Dest()
+		if ok != c.hasDest || (ok && d != c.wantDest) {
+			t.Errorf("%v: Dest() = %v, %v; want %v, %v", c.in, d, ok, c.wantDest, c.hasDest)
+		}
+		srcs := c.in.Srcs(nil)
+		if len(srcs) != len(c.wantSrcs) {
+			t.Errorf("%v: Srcs() = %v, want %v", c.in, srcs, c.wantSrcs)
+			continue
+		}
+		for i := range srcs {
+			if srcs[i] != c.wantSrcs[i] {
+				t.Errorf("%v: Srcs() = %v, want %v", c.in, srcs, c.wantSrcs)
+				break
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(40))
+	ops := allOps()
+	for i := 0; i < 5000; i++ {
+		in := Instruction{
+			Op:     ops[r.Intn(len(ops))],
+			Ra:     Reg(r.Intn(32)),
+			Rb:     Reg(r.Intn(32)),
+			Rc:     Reg(r.Intn(32)),
+			Imm:    int64(int32(r.Uint32())),
+			UseImm: r.Intn(2) == 0,
+		}
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decode(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != in {
+			t.Fatalf("round trip: %+v -> %#x -> %+v", in, w, back)
+		}
+	}
+}
+
+func TestEncodeRejectsBadImmediate(t *testing.T) {
+	in := Instruction{Op: ADDQ, Imm: 1 << 40, UseImm: true}
+	if _, err := in.Encode(); err == nil {
+		t.Error("Encode accepted out-of-range immediate")
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	if _, err := Decode(0); err == nil {
+		t.Error("Decode accepted opcode 0")
+	}
+	if _, err := Decode(uint64(200) << 56); err == nil {
+		t.Error("Decode accepted out-of-range opcode")
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	ops := allOps()
+	f := func(opIdx uint8, ra, rb, rc uint8, imm int32, useImm bool) bool {
+		in := Instruction{
+			Op: ops[int(opIdx)%len(ops)], Ra: Reg(ra % 32), Rb: Reg(rb % 32),
+			Rc: Reg(rc % 32), Imm: int64(imm), UseImm: useImm,
+		}
+		w, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		back, err := Decode(w)
+		return err == nil && back == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringIsStable(t *testing.T) {
+	// String must never panic and must mention the mnemonic.
+	r := rand.New(rand.NewSource(41))
+	ops := allOps()
+	for i := 0; i < 1000; i++ {
+		in := Instruction{
+			Op: ops[r.Intn(len(ops))], Ra: Reg(r.Intn(32)), Rb: Reg(r.Intn(32)),
+			Rc: Reg(r.Intn(32)), Imm: int64(int16(r.Uint32())), UseImm: r.Intn(2) == 0,
+		}
+		s := in.String()
+		if len(s) == 0 {
+			t.Fatalf("empty String for %+v", in)
+		}
+	}
+}
+
+func TestMoveException(t *testing.T) {
+	// §3.6: a logical op with identical register sources is the MOV idiom
+	// and executes on redundant binary inputs.
+	mov := Instruction{Op: BIS, Ra: 1, Rb: 1, Rc: 2}
+	if !mov.IsMove() {
+		t.Error("BIS r1,r1,r2 not recognized as MOV")
+	}
+	c := mov.EffectiveClass()
+	if c.In != FormatRB || c.Out != FormatRB || c.Row != Row1ArithRBRB {
+		t.Errorf("MOV effective class %+v", c)
+	}
+	// Plain logicals are unchanged.
+	or := Instruction{Op: BIS, Ra: 1, Rb: 2, Rc: 3}
+	if or.IsMove() || or.EffectiveClass().In != FormatTC {
+		t.Error("BIS r1,r2,r3 misclassified")
+	}
+	lit := Instruction{Op: BIS, Ra: 1, Rb: 1, UseImm: true, Imm: 0, Rc: 2}
+	if lit.IsMove() {
+		t.Error("literal BIS classified as MOV")
+	}
+	if (Instruction{Op: XOR, Ra: 1, Rb: 1, Rc: 2}).IsMove() {
+		t.Error("XOR r1,r1 is a clear, not a move")
+	}
+}

@@ -1,0 +1,181 @@
+// Package isa defines the Alpha-like 64-bit integer instruction set
+// architecture simulated in this repository: opcodes, instruction layout,
+// a binary encoding, and the per-instruction classification the paper builds
+// its machines around — which operand formats an instruction accepts
+// (redundant binary or 2's complement), which format it produces, and which
+// latency class of Table 3 it belongs to.
+//
+// The subset matches the fixed-point instructions the paper classifies in
+// Table 1: arithmetic (including scaled adds and LDA/LDAH), logical and byte
+// manipulation, shifts, compares, conditional moves, memory access,
+// conditional branches, the count instructions CTLZ/CTTZ/CTPOP, and a small
+// floating-point class that exists purely to exercise the FP latency rows of
+// Table 3.
+package isa
+
+import "fmt"
+
+// Reg names an architectural integer register. R31 reads as zero and writes
+// to it are discarded, as on Alpha.
+type Reg uint8
+
+// NumRegs is the architectural register count.
+const NumRegs = 32
+
+// RZero is the hardwired zero register.
+const RZero Reg = 31
+
+// String renders the register in assembler syntax ("r7").
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Op is an operation code.
+type Op uint8
+
+// Operation codes. The groups mirror the rows of paper Table 1.
+const (
+	// OpInvalid is the zero Op; decoding it is an error.
+	OpInvalid Op = iota
+
+	// Integer arithmetic (RB input, RB output — Table 1 row 1).
+	ADDQ   // Rc = Ra + Rb/lit
+	ADDL   // Rc = sext32(Ra + Rb/lit)
+	SUBQ   // Rc = Ra - Rb/lit
+	SUBL   // Rc = sext32(Ra - Rb/lit)
+	S4ADDQ // Rc = Ra*4 + Rb/lit
+	S8ADDQ // Rc = Ra*8 + Rb/lit
+	S4SUBQ // Rc = Ra*4 - Rb/lit
+	S8SUBQ // Rc = Ra*8 - Rb/lit
+	LDA    // Ra = Rb + disp
+	LDAH   // Ra = Rb + disp*65536
+	MULQ   // Rc = Ra * Rb/lit (RB adder tree, Table 1 row 1)
+	MULL   // Rc = sext32(Ra * Rb/lit)
+
+	// Shifts. SLL shifts digits and stays in the RB domain; right shifts
+	// require 2's-complement input (paper §3.6).
+	SLL // Rc = Ra << (Rb/lit & 63)
+	SRL // Rc = Ra >>u (Rb/lit & 63)
+	SRA // Rc = Ra >>s (Rb/lit & 63)
+
+	// Logical operations (TC input, TC output — Table 1 "Other").
+	AND   // Rc = Ra & Rb/lit
+	BIS   // Rc = Ra | Rb/lit (also the canonical MOV/NOP encoding)
+	XOR   // Rc = Ra ^ Rb/lit
+	BIC   // Rc = Ra &^ Rb/lit
+	ORNOT // Rc = Ra | ^Rb/lit
+	EQV   // Rc = Ra ^ ^Rb/lit
+	CTLZ  // Rc = leading zero count of Rb/lit (TC input)
+	CTTZ  // Rc = trailing zero count of Rb/lit (RB-executable, §3.6)
+	CTPOP // Rc = population count of Rb/lit (TC input)
+
+	// Byte manipulation (TC input, TC output — Table 1 "Other").
+	EXTBL  // Rc = byte (Rb/lit & 7) of Ra, zero extended
+	INSBL  // Rc = low byte of Ra shifted into byte (Rb/lit & 7)
+	MSKBL  // Rc = Ra with byte (Rb/lit & 7) cleared
+	ZAPNOT // Rc = Ra with bytes not selected by mask Rb/lit cleared
+	SEXTB  // Rc = sext8(Rb/lit)
+	SEXTW  // Rc = sext16(Rb/lit)
+
+	// Integer compares (RB input, TC output — Table 1 rows 5 and 6).
+	CMPEQ  // Rc = (Ra == Rb/lit)
+	CMPLT  // Rc = (Ra <s Rb/lit)
+	CMPLE  // Rc = (Ra <=s Rb/lit)
+	CMPULT // Rc = (Ra <u Rb/lit)
+	CMPULE // Rc = (Ra <=u Rb/lit)
+
+	// Conditional moves (RB input, RB output — Table 1 rows 1-3). Rc is both
+	// a source and the destination: if the test on Ra fails, Rc keeps its
+	// old value.
+	CMOVEQ  // if Ra == 0 then Rc = Rb/lit
+	CMOVNE  // if Ra != 0 then Rc = Rb/lit
+	CMOVLT  // if Ra <s 0 then Rc = Rb/lit
+	CMOVGE  // if Ra >=s 0 then Rc = Rb/lit
+	CMOVLE  // if Ra <=s 0 then Rc = Rb/lit
+	CMOVGT  // if Ra >s 0 then Rc = Rb/lit
+	CMOVLBS // if Ra & 1 then Rc = Rb/lit
+	CMOVLBC // if !(Ra & 1) then Rc = Rb/lit
+
+	// Memory access (RB input for address computation, TC output — Table 1
+	// row 4; addresses are decoded by sum-addressed memory, §3.6).
+	LDQ  // Ra = mem64[Rb + disp]
+	LDL  // Ra = sext32(mem32[Rb + disp])
+	LDBU // Ra = zext8(mem8[Rb + disp])
+	STQ  // mem64[Rb + disp] = Ra
+	STL  // mem32[Rb + disp] = low32(Ra)
+	STB  // mem8[Rb + disp] = low8(Ra)
+
+	// Control flow. Conditional branches accept RB inputs (Table 1 row 7).
+	BR   // Ra = return address; pc += disp
+	BSR  // Ra = return address; pc += disp
+	BEQ  // if Ra == 0 branch
+	BNE  // if Ra != 0 branch
+	BLT  // if Ra <s 0 branch
+	BGE  // if Ra >=s 0 branch
+	BLE  // if Ra <=s 0 branch
+	BGT  // if Ra >s 0 branch
+	BLBC // if !(Ra & 1) branch
+	BLBS // if Ra & 1 branch
+	JMP  // Ra = return address; pc = Rb
+	JSR  // Ra = return address; pc = Rb
+	RET  // Ra = return address; pc = Rb
+
+	// Floating point latency classes (Table 3 rows "fp arithmetic" and
+	// "fp divide"). Register bits are interpreted as IEEE float64.
+	ADDT // Rc = Ra +f Rb
+	SUBT // Rc = Ra -f Rb
+	MULT // Rc = Ra *f Rb
+	DIVT // Rc = Ra /f Rb
+
+	// HALT stops the functional emulator.
+	HALT
+
+	opSentinel // number of opcodes; keep last
+)
+
+// NumOps is the number of defined opcodes including OpInvalid.
+const NumOps = int(opSentinel)
+
+// opNames maps opcodes to their assembler mnemonics (lower case).
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	ADDQ:      "addq", ADDL: "addl", SUBQ: "subq", SUBL: "subl",
+	S4ADDQ: "s4addq", S8ADDQ: "s8addq", S4SUBQ: "s4subq", S8SUBQ: "s8subq",
+	LDA: "lda", LDAH: "ldah", MULQ: "mulq", MULL: "mull",
+	SLL: "sll", SRL: "srl", SRA: "sra",
+	AND: "and", BIS: "bis", XOR: "xor", BIC: "bic", ORNOT: "ornot", EQV: "eqv",
+	CTLZ: "ctlz", CTTZ: "cttz", CTPOP: "ctpop",
+	EXTBL: "extbl", INSBL: "insbl", MSKBL: "mskbl", ZAPNOT: "zapnot",
+	SEXTB: "sextb", SEXTW: "sextw",
+	CMPEQ: "cmpeq", CMPLT: "cmplt", CMPLE: "cmple", CMPULT: "cmpult", CMPULE: "cmpule",
+	CMOVEQ: "cmoveq", CMOVNE: "cmovne", CMOVLT: "cmovlt", CMOVGE: "cmovge",
+	CMOVLE: "cmovle", CMOVGT: "cmovgt", CMOVLBS: "cmovlbs", CMOVLBC: "cmovlbc",
+	LDQ: "ldq", LDL: "ldl", LDBU: "ldbu", STQ: "stq", STL: "stl", STB: "stb",
+	BR: "br", BSR: "bsr", BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge",
+	BLE: "ble", BGT: "bgt", BLBC: "blbc", BLBS: "blbs",
+	JMP: "jmp", JSR: "jsr", RET: "ret",
+	ADDT: "addt", SUBT: "subt", MULT: "mult", DIVT: "divt",
+	HALT: "halt",
+}
+
+// String returns the assembler mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// OpByName looks up an opcode by its assembler mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		if name != "" && Op(op) != OpInvalid {
+			m[name] = Op(op)
+		}
+	}
+	return m
+}()

@@ -1,0 +1,238 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/bypass"
+	"repro/internal/isa"
+)
+
+func TestAllConfigsValidate(t *testing.T) {
+	for _, w := range []int{4, 8} {
+		for _, cfg := range All(w) {
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("%s: %v", cfg.Name, err)
+			}
+		}
+		for _, bp := range []bypass.Config{
+			bypass.Full().Without(1), bypass.Full().Without(2), bypass.Full().Without(3),
+			bypass.Full().Without(1, 2), bypass.Full().Without(2, 3),
+		} {
+			cfg := NewIdealLimited(w, bp)
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("%s: %v", cfg.Name, err)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	c := NewIdeal(8)
+	c.Width = 6
+	if err := c.Validate(); err == nil {
+		t.Error("width 6 with 4 schedulers accepted")
+	}
+	c = NewIdeal(8)
+	c.SchedulerSize = 10
+	if err := c.Validate(); err == nil {
+		t.Error("window mismatch accepted")
+	}
+	c = NewIdeal(8)
+	c.Clusters = 3
+	if err := c.Validate(); err == nil {
+		t.Error("3 clusters accepted")
+	}
+}
+
+func TestPaperTable2Partitioning(t *testing.T) {
+	// §5.1: "The 4-wide machine had two schedulers, each holding 64
+	// instructions. The 8-wide machine was partitioned into two clusters...
+	// 4 schedulers, each with 32 instructions."
+	c4 := NewIdeal(4)
+	if c4.NumSchedulers != 2 || c4.SchedulerSize != 64 || c4.Clusters != 1 {
+		t.Errorf("4-wide partitioning: %+v", c4)
+	}
+	c8 := NewIdeal(8)
+	if c8.NumSchedulers != 4 || c8.SchedulerSize != 32 || c8.Clusters != 2 || c8.InterClusterDelay != 1 {
+		t.Errorf("8-wide partitioning: %+v", c8)
+	}
+	if c8.WindowSize != 128 || c8.FrontWidth != 8 {
+		t.Errorf("window/front: %+v", c8)
+	}
+}
+
+func TestMinPipelineIs13(t *testing.T) {
+	// §5.1: "The pipeline latency was a minimum of 13 cycles."
+	for _, cfg := range All(8) {
+		if got := cfg.MinPipeline(); got != 13 {
+			t.Errorf("%s: MinPipeline() = %d, want 13", cfg.Name, got)
+		}
+	}
+}
+
+func TestTable3Latencies(t *testing.T) {
+	// The exact Table 3 contents.
+	type row struct {
+		class               isa.LatencyClass
+		base, rb, rbTC, idl int64
+	}
+	rows := []row{
+		{isa.LatIntArith, 2, 1, 3, 1},
+		{isa.LatIntLogical, 1, 1, 1, 1},
+		{isa.LatShiftLeft, 3, 3, 5, 3},
+		{isa.LatShiftRight, 3, 3, 3, 3},
+		{isa.LatIntCompare, 2, 1, 3, 1},
+		{isa.LatByteManip, 2, 1, 3, 1},
+		{isa.LatIntMul, 10, 10, 10, 10},
+		{isa.LatFPArith, 8, 8, 8, 8},
+		{isa.LatFPDiv, 32, 32, 32, 32},
+		{isa.LatMemory, 1, 1, 1, 1},
+	}
+	base, rbm, idl := NewBaseline(8), NewRBFull(8), NewIdeal(8)
+	for _, r := range rows {
+		if got := base.Latency(r.class).Exec; got != r.base {
+			t.Errorf("Baseline %v = %d, want %d", r.class, got, r.base)
+		}
+		e := rbm.Latency(r.class)
+		if e.Exec != r.rb || e.Exec+e.TCExtra != r.rbTC {
+			t.Errorf("RB %v = %d (%d), want %d (%d)", r.class, e.Exec, e.Exec+e.TCExtra, r.rb, r.rbTC)
+		}
+		if got := idl.Latency(r.class).Exec; got != r.idl {
+			t.Errorf("Ideal %v = %d, want %d", r.class, got, r.idl)
+		}
+	}
+}
+
+func TestSchedulesBaselineIdealSeamless(t *testing.T) {
+	for _, cfg := range []Config{NewBaseline(8), NewIdeal(4)} {
+		rbIn, tcIn := cfg.Schedules(isa.LatIntArith)
+		if !rbIn.Seamless() || !tcIn.Seamless() {
+			t.Errorf("%s: full-network schedules not seamless", cfg.Name)
+		}
+		if !rbIn.AvailableAt(1) {
+			t.Errorf("%s: back-to-back bypass missing", cfg.Name)
+		}
+	}
+}
+
+func TestSchedulesIdealLimitedHoles(t *testing.T) {
+	cfg := NewIdealLimited(8, bypass.Full().Without(2))
+	s, _ := cfg.Schedules(isa.LatIntArith)
+	if s.AvailableAt(2) {
+		t.Error("No-2 machine available at offset 2")
+	}
+	if !s.AvailableAt(1) || !s.AvailableAt(3) || !s.AvailableAt(4) {
+		t.Error("No-2 machine missing offsets 1/3/4")
+	}
+}
+
+func TestSchedulesRBFull(t *testing.T) {
+	cfg := NewRBFull(8)
+	rbIn, tcIn := cfg.Schedules(isa.LatIntArith)
+	if !rbIn.Seamless() || rbIn.NextAvailable(1) != 1 {
+		t.Errorf("RB-full RB-consumer schedule: %+v", rbIn)
+	}
+	// TC consumers: seamless from offset 3 (1-cycle add + 2-cycle convert).
+	if tcIn.AvailableAt(1) || tcIn.AvailableAt(2) {
+		t.Error("TC consumer sees unconverted result")
+	}
+	if !tcIn.AvailableAt(3) || !tcIn.AvailableAt(4) || !tcIn.AvailableAt(10) {
+		t.Errorf("TC consumer schedule: %+v", tcIn)
+	}
+}
+
+func TestSchedulesRBLimitedHole(t *testing.T) {
+	cfg := NewRBLimited(8)
+	rbIn, tcIn := cfg.Schedules(isa.LatIntArith)
+	// §4.2: available immediately, then a 2-cycle hole, then the register
+	// file.
+	wantAvail := map[int64]bool{1: true, 2: false, 3: false, 4: true, 5: true}
+	for o, want := range wantAvail {
+		if got := rbIn.AvailableAt(o); got != want {
+			t.Errorf("RB-limited rbIn(%d) = %v, want %v", o, got, want)
+		}
+	}
+	holes := rbIn.Holes()
+	if len(holes) != 2 {
+		t.Errorf("RB-limited holes = %v, want the 2-cycle hole", holes)
+	}
+	// TC consumers unchanged from RB-full.
+	if !tcIn.AvailableAt(3) || tcIn.AvailableAt(2) {
+		t.Errorf("RB-limited tcIn: %+v", tcIn)
+	}
+}
+
+func TestSchedulesTCProducersOnRBMachines(t *testing.T) {
+	// Logical/load results are 2's complement: available to everyone at
+	// offset 1, even on the RB machines.
+	for _, cfg := range []Config{NewRBFull(8), NewRBLimited(8)} {
+		for _, class := range []isa.LatencyClass{isa.LatIntLogical, isa.LatMemory, isa.LatIntMul} {
+			rbIn, tcIn := cfg.Schedules(class)
+			if !rbIn.AvailableAt(1) || !tcIn.AvailableAt(1) {
+				t.Errorf("%s %v: TC producer not immediately available", cfg.Name, class)
+			}
+		}
+	}
+}
+
+func TestKindStringAndIsRB(t *testing.T) {
+	if Baseline.String() != "Baseline" || RBLimited.String() != "RB-limited" ||
+		RBFull.String() != "RB-full" || Ideal.String() != "Ideal" {
+		t.Error("kind names wrong")
+	}
+	if Baseline.IsRB() || Ideal.IsRB() || !RBFull.IsRB() || !RBLimited.IsRB() {
+		t.Error("IsRB wrong")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, kind := range map[string]Kind{
+		"baseline": Baseline, "rb-limited": RBLimited, "rb-full": RBFull, "ideal": Ideal,
+	} {
+		cfg, err := ByName(name, 8)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if cfg.Kind != kind || cfg.Width != 8 {
+			t.Errorf("ByName(%q) = %s width %d", name, cfg.Kind, cfg.Width)
+		}
+	}
+	if _, err := ByName("bogus", 8); err == nil {
+		t.Error("ByName accepted unknown machine")
+	}
+}
+
+func TestStaggeredMachine(t *testing.T) {
+	c := NewStaggered(8)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind.IsRB() {
+		t.Error("staggered machine reported as redundant binary")
+	}
+	if c.Kind.String() != "Staggered" {
+		t.Errorf("kind name %q", c.Kind.String())
+	}
+	// Low-half forwarding: effective 1-cycle adds, full result one stage
+	// later (paper §2: the carry-out of the 16th bit and the lower half are
+	// produced in the first cycle).
+	e := c.Latency(isa.LatIntArith)
+	if e.Exec != 1 || e.TCExtra != 1 {
+		t.Errorf("staggered arithmetic latency %+v, want {1 1}", e)
+	}
+	rbIn, tcIn := c.Schedules(isa.LatIntArith)
+	if !rbIn.AvailableAt(1) {
+		t.Error("staggered low half not forwardable back-to-back")
+	}
+	if tcIn.AvailableAt(1) || !tcIn.AvailableAt(2) {
+		t.Errorf("staggered full-result availability wrong: %+v", tcIn)
+	}
+	// Logical ops are ordinary single-cycle full-width results.
+	rbIn, tcIn = c.Schedules(isa.LatIntLogical)
+	if !rbIn.AvailableAt(1) || !tcIn.AvailableAt(1) {
+		t.Error("staggered logical ops should be seamless")
+	}
+	if _, err := ByName("staggered", 4); err != nil {
+		t.Errorf("ByName(staggered): %v", err)
+	}
+}

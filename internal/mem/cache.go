@@ -1,0 +1,181 @@
+// Package mem models the memory hierarchy of the paper's machine (Table 2):
+// a 64KB 4-way pipelined instruction cache with 2-cycle access, an 8KB 2-way
+// pipelined data cache with 2-cycle latency, a 1MB 8-way unified L2 with
+// 8-cycle access and contention modeled for 2 banks, and a 100-cycle main
+// memory with contention modeled for 32 banks. It also implements the
+// sum-addressed-memory (SAM) decoder of paper §3.6, which indexes the data
+// cache directly from the base and displacement (or from the positive and
+// negative components of a redundant binary address) without a full
+// carry-propagating addition.
+package mem
+
+import "fmt"
+
+// CacheConfig sizes one cache level.
+type CacheConfig struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the block size.
+	LineBytes int
+	// Ways is the set associativity.
+	Ways int
+}
+
+// CacheStats counts accesses.
+type CacheStats struct {
+	Hits, Misses, Writebacks int64
+}
+
+// Accesses is the total access count.
+func (s CacheStats) Accesses() int64 { return s.Hits + s.Misses }
+
+// MissRate is misses per access (0 when unused).
+func (s CacheStats) MissRate() float64 {
+	if s.Accesses() == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses())
+}
+
+// Cache is a set-associative, write-back, write-allocate cache model with
+// true-LRU replacement. It tracks tags only (timing model; data values come
+// from the functional emulator).
+type Cache struct {
+	cfg    CacheConfig
+	sets   int
+	lines  []cacheLine // sets * ways
+	stats  CacheStats
+	offLSB uint // log2(LineBytes)
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint8
+}
+
+// NewCache validates the configuration and builds an empty cache.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("mem: line size %d is not a power of two", cfg.LineBytes)
+	}
+	if cfg.Ways <= 0 || cfg.SizeBytes%(cfg.LineBytes*cfg.Ways) != 0 {
+		return nil, fmt.Errorf("mem: size %d not divisible into %d-way sets of %d-byte lines",
+			cfg.SizeBytes, cfg.Ways, cfg.LineBytes)
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("mem: set count %d is not a power of two", sets)
+	}
+	c := &Cache{cfg: cfg, sets: sets, lines: make([]cacheLine, sets*cfg.Ways)}
+	for n := cfg.LineBytes; n > 1; n >>= 1 {
+		c.offLSB++
+	}
+	return c, nil
+}
+
+// MustCache is NewCache for static configurations; it panics on error.
+func MustCache(cfg CacheConfig) *Cache {
+	c, err := NewCache(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Sets returns the number of sets (the decoder's row count).
+func (c *Cache) Sets() int { return c.sets }
+
+// IndexBits returns log2(sets), the width of the decoder input.
+func (c *Cache) IndexBits() uint {
+	bits := uint(0)
+	for n := c.sets; n > 1; n >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// OffsetBits returns log2(line size).
+func (c *Cache) OffsetBits() uint { return c.offLSB }
+
+// Index extracts the set index of an address, the field the SAM decoder
+// produces.
+func (c *Cache) Index(addr uint64) uint64 {
+	return addr >> c.offLSB & uint64(c.sets-1)
+}
+
+func (c *Cache) tagOf(addr uint64) uint64 { return addr >> c.offLSB / uint64(c.sets) }
+
+// Access looks up addr, allocating on a miss. write marks the line dirty.
+// It reports whether the access hit and whether the allocation evicted a
+// dirty line (write-back traffic).
+func (c *Cache) Access(addr uint64, write bool) (hit, writeback bool) {
+	set := int(c.Index(addr))
+	tag := c.tagOf(addr)
+	base := set * c.cfg.Ways
+	victim := 0
+	for w := 0; w < c.cfg.Ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == tag {
+			c.touch(base, w)
+			if write {
+				l.dirty = true
+			}
+			c.stats.Hits++
+			return true, false
+		}
+		if !c.lines[base+victim].valid {
+			continue
+		}
+		if !l.valid || l.lru > c.lines[base+victim].lru {
+			victim = w
+		}
+	}
+	c.stats.Misses++
+	l := &c.lines[base+victim]
+	writeback = l.valid && l.dirty
+	if writeback {
+		c.stats.Writebacks++
+	}
+	l.tag = tag
+	l.valid = true
+	l.dirty = write
+	c.touch(base, victim)
+	return false, writeback
+}
+
+// Probe reports whether addr currently hits without changing any state.
+func (c *Cache) Probe(addr uint64) bool {
+	set := int(c.Index(addr))
+	tag := c.tagOf(addr)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cache) touch(base, way int) {
+	for w := 0; w < c.cfg.Ways; w++ {
+		if w == way {
+			c.lines[base+w].lru = 0
+		} else if c.lines[base+w].lru < 255 {
+			c.lines[base+w].lru++
+		}
+	}
+}
+
+// Stats returns the access counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+	c.stats = CacheStats{}
+}

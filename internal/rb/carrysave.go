@@ -1,0 +1,51 @@
+package rb
+
+// Carry-save representation (paper §3.4): Nagendra et al. found a carry-save
+// adder — which uses "a redundant representation similar to the redundant
+// binary representation described in this paper" — about twice as fast as
+// their signed-digit adder. A carry-save number keeps a sum vector and a
+// carry vector; addition of a new 2's-complement operand is a single layer
+// of full adders (3:2 compression), so like the RB adder its latency is
+// independent of width. Unlike redundant binary it cannot absorb another
+// carry-save number in one step (that needs two 3:2 layers) and subtraction
+// requires complementing, which is why the paper's machines use the
+// signed-digit form for general forwarding.
+
+// CarrySave is a two-vector redundant value: it represents Sum + Carry
+// (mod 2^64).
+type CarrySave struct {
+	Sum, Carry uint64
+}
+
+// CSFromUint converts a 2's-complement value (carry vector zero).
+func CSFromUint(v uint64) CarrySave { return CarrySave{Sum: v} }
+
+// Uint resolves the value with a full carry-propagate addition — the same
+// conversion cost an RB number pays.
+func (c CarrySave) Uint() uint64 { return c.Sum + c.Carry }
+
+// AddUint absorbs one 2's-complement operand with a single 3:2 compressor
+// layer: constant depth, no carry chain.
+func (c CarrySave) AddUint(x uint64) CarrySave {
+	s := c.Sum ^ c.Carry ^ x
+	carry := (c.Sum & c.Carry) | (c.Sum & x) | (c.Carry & x)
+	return CarrySave{Sum: s, Carry: carry << 1}
+}
+
+// Add absorbs another carry-save number using two 3:2 layers (4:2
+// compression), still constant depth.
+func (c CarrySave) Add(o CarrySave) CarrySave {
+	return c.AddUint(o.Sum).AddUint(o.Carry)
+}
+
+// ToRB converts a carry-save value into redundant binary form: both vectors
+// are nonnegative, so they land in the plus component via one carry-free RB
+// addition; no carry-propagate step is needed. This is the bridge that lets
+// carry-save partial products (e.g. from a multiplier array) enter the RB
+// forwarding network.
+func (c CarrySave) ToRB() Number {
+	a := Number{plus: c.Sum}
+	b := Number{plus: c.Carry}
+	r, _ := Add(a, b)
+	return r
+}

@@ -1,0 +1,72 @@
+package rb
+
+// sliceOut is the output of one digit slice of the Figure-2 adder.
+type sliceOut struct {
+	carry   Digit // carry into the next slice (the "h"-derived transfer)
+	interim Digit // interim sum digit (the "f"-derived partial sum)
+}
+
+// addSlice is one digit slice of the redundant binary adder (paper Figure 2).
+// It consumes the two input digits of position i and the "both nonnegative"
+// predicate of position i-1 (the information carried by the intermediate
+// signal h(i-1) in the figure: whether the carry out of the lower slice can
+// be negative) and produces the transfer (carry) digit and interim sum digit
+// with the guarantee that interim(i) + carry(i-1) never leaves {-1, 0, 1}.
+func addSlice(x, y Digit, prevBothNonneg bool) sliceOut {
+	switch s := int(x) + int(y); s {
+	case 2:
+		return sliceOut{carry: 1, interim: 0}
+	case 1:
+		if prevBothNonneg {
+			return sliceOut{carry: 1, interim: -1}
+		}
+		return sliceOut{carry: 0, interim: 1}
+	case 0:
+		return sliceOut{carry: 0, interim: 0}
+	case -1:
+		if prevBothNonneg {
+			return sliceOut{carry: 0, interim: -1}
+		}
+		return sliceOut{carry: -1, interim: 1}
+	default: // -2
+		return sliceOut{carry: -1, interim: 0}
+	}
+}
+
+// AddDigitSerial computes x + y by evaluating the Figure-2 digit slice one
+// position at a time, least significant digit first. It is the reference
+// model for Add: the two are verified bit-equivalent (including Flags) by the
+// package tests. Sum digit i is a function of input digits i, i-1, and i-2
+// only — the bounded carry propagation that gives the RB adder a critical
+// path independent of operand width.
+func AddDigitSerial(x, y Number) (Number, Flags) {
+	var z Number
+	carryIn := Digit(0)    // carry from slice i-1 into slice i
+	prevBothNonneg := true // P(i-1); P(-1) is true (no lower slice)
+	var carryOut Digit
+
+	for i := 0; i < Width; i++ {
+		xi, yi := x.Digit(i), y.Digit(i)
+		out := addSlice(xi, yi, prevBothNonneg)
+		zi := out.interim + carryIn
+		switch zi {
+		case 1:
+			z.plus |= 1 << i
+		case -1:
+			z.minus |= 1 << i
+		case 0:
+		default:
+			// Unreachable by the slice rule; kept as an executable statement
+			// of the invariant.
+			panic("rb: digit slice produced a sum digit outside {-1,0,1}")
+		}
+		carryIn = out.carry
+		prevBothNonneg = xi >= 0 && yi >= 0
+	}
+	carryOut = carryIn
+
+	var f Flags
+	f.CarryOut = carryOut
+	z, f = correctOverflow(z, f)
+	return z, f
+}

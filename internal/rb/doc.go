@@ -1,0 +1,41 @@
+// Package rb implements the redundant binary (signed-digit, radix-2) number
+// system used by Brown & Patt, "Using Internal Redundant Representations and
+// Limited Bypass to Support Pipelined Adders and Register Files" (HPCA 2002).
+//
+// A redundant binary (RB) number is a vector of digits, each drawn from
+// {-1, 0, 1}. Digit i has weight 2^i, so an n-digit number X = x(n-1)..x(0)
+// represents the value sum(x(i) * 2^i). Because a value can have many
+// representations, addition can be performed with carries that propagate at
+// most two digit positions, making the adder's critical path independent of
+// the operand width (paper §3.3). That property is what lets the paper's
+// machines execute dependent ADD chains in consecutive short cycles.
+//
+// This package provides:
+//
+//   - Number: a 64-digit RB number stored as two disjoint bit vectors (the
+//     positive and negative components X+ and X- of paper §3.2).
+//   - FromInt / Number.Int: the hardwired 2's-complement-to-RB conversion and
+//     the full-carry-propagate RB-to-2's-complement conversion.
+//   - Add / Sub: constant-time (word-parallel) carry-free addition, including
+//     bogus-overflow correction and 2's-complement overflow detection exactly
+//     per paper §3.5.
+//   - AddDigitSerial: a digit-slice reference model of the Figure-2 adder in
+//     which the i-th sum digit is computed only from digits i, i-1, and i-2 of
+//     the inputs; Add and AddDigitSerial are verified equivalent by tests.
+//   - ShiftLeft / ScaledAdd: digit shifts with the most-significant-digit sign
+//     fixup described in paper §3.6.
+//   - Mul: a multiplier built from the RB adder tree (the historical use of RB
+//     arithmetic, paper §2).
+//   - Sign / IsZero / LSB / TrailingZeroDigits / Longword: the operand tests
+//     and quadword-to-longword forwarding rules of paper §3.6.
+//
+// All arithmetic is modulo 2^64 (Alpha quadword semantics); the Flags result
+// reports when the non-wrapped value would have overflowed 2's complement.
+//
+// Numbers handled by this package are kept in a normalized form: the two
+// component bit vectors are disjoint (no digit encodes +1 and -1 at once) and
+// the most significant nonzero digit agrees in sign with the represented
+// 2's-complement value. Every constructor and arithmetic routine returns
+// normalized numbers, so Sign and the branch/conditional-move tests built on
+// it are exact (paper §3.6, "Conditional Operations").
+package rb

@@ -1,0 +1,32 @@
+package rb
+
+// Mul computes x * y mod 2^64 using an adder tree built from the redundant
+// binary adder — the historical home of RB arithmetic (paper §2: the ILLIAC
+// III adder-subtractor and the Makino multiplier both accumulate partial
+// products in a redundant representation so that no carry propagates until
+// the final conversion).
+//
+// Each signed digit of the multiplier selects +, -, or no contribution of a
+// shifted copy of the multiplicand; the contributions are accumulated with
+// carry-free Add/Sub steps. Because the accumulation never converts to 2's
+// complement, the whole product stays in the RB domain, which is why the
+// paper classifies MUL as an RB-input, RB-output instruction (Table 1).
+func Mul(x, y Number) Number {
+	var acc Number
+	for i := 0; i < Width; i++ {
+		switch y.Digit(i) {
+		case 1:
+			acc, _ = Add(acc, x.ShiftLeft(uint(i)))
+		case -1:
+			acc, _ = Sub(acc, x.ShiftLeft(uint(i)))
+		}
+	}
+	return acc
+}
+
+// MulLongword computes the longword product (x * y as 32-bit values, sign
+// extended), the Alpha MULL semantics, by taking the quadword RB product and
+// applying the longword extraction rules.
+func MulLongword(x, y Number) Number {
+	return Mul(x, y).Longword()
+}

@@ -1,0 +1,68 @@
+package rb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulMatchesIntegerMultiplication(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Mul(FromInt(a), FromInt(b)).Uint() == uint64(a)*uint64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulArbitraryRepresentations(t *testing.T) {
+	r := rand.New(rand.NewSource(30))
+	for i := 0; i < 300; i++ {
+		x, y := randNumber(r), randNumber(r)
+		p := Mul(x, y)
+		if p.Uint() != x.Uint()*y.Uint() {
+			t.Fatalf("Mul(%v, %v) = %d, want %d", x, y, p.Int(), int64(x.Uint()*y.Uint()))
+		}
+		if !p.Canonical() || !p.Normalized() {
+			t.Fatalf("Mul produced invalid representation %v", p)
+		}
+	}
+}
+
+func TestMulSmallTable(t *testing.T) {
+	for a := int64(-9); a <= 9; a++ {
+		for b := int64(-9); b <= 9; b++ {
+			if got := Mul(FromInt(a), FromInt(b)).Int(); got != a*b {
+				t.Fatalf("%d * %d = %d", a, b, got)
+			}
+		}
+	}
+}
+
+func TestMulLongword(t *testing.T) {
+	f := func(a, b int32) bool {
+		want := int64(int32(a * b)) // 32-bit wrap then sign extend
+		return MulLongword(FromInt(int64(a)), FromInt(int64(b))).Int() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulIdentities(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	one := FromInt(1)
+	zero := FromInt(0)
+	for i := 0; i < 200; i++ {
+		x := randNumber(r)
+		if Mul(x, one).Uint() != x.Uint() {
+			t.Fatalf("x*1 != x for %v", x)
+		}
+		if !Mul(x, zero).IsZero() {
+			t.Fatalf("x*0 != 0 for %v", x)
+		}
+		if Mul(x, FromInt(-1)).Uint() != -x.Uint() {
+			t.Fatalf("x*-1 != -x for %v", x)
+		}
+	}
+}

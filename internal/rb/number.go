@@ -1,0 +1,207 @@
+package rb
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Digit is one signed binary digit with value -1, 0, or +1.
+type Digit int8
+
+// Width is the number of digits in a Number (Alpha quadword).
+const Width = 64
+
+// signBit is the bit mask of the most significant digit position.
+const signBit uint64 = 1 << (Width - 1)
+
+// Number is a 64-digit redundant binary number. Digit i is
+// (bit i of plus) - (bit i of minus); the two vectors are disjoint, so each
+// digit is -1, 0, or +1. The zero value represents the number 0.
+//
+// plus and minus are the X+ and X- components of paper §3.2: X = X+ - X-.
+// In the two-bit digit encoding of the paper ("one bit indicates the digit is
+// negative, the other indicates it is positive"), plus holds all the positive
+// indicator bits and minus all the negative indicator bits.
+type Number struct {
+	plus  uint64
+	minus uint64
+}
+
+// FromInt converts a 2's-complement value to redundant binary using the
+// hardwired conversion of paper §3.2: every bit except the sign bit becomes a
+// positive digit, and the sign bit becomes a negative digit at the most
+// significant position (bit 63 of a 2's-complement number has weight -2^63).
+// No logic is required in hardware; this is a rewiring.
+func FromInt(x int64) Number {
+	u := uint64(x)
+	return Number{plus: u &^ signBit, minus: u & signBit}
+}
+
+// FromUint converts a 64-bit pattern interpreted as a 2's-complement quadword.
+func FromUint(x uint64) Number {
+	return FromInt(int64(x))
+}
+
+// FromBits constructs a Number directly from positive and negative component
+// vectors. It reports an error if any digit position is set in both vectors,
+// which would violate the digit encoding invariant.
+func FromBits(plus, minus uint64) (Number, error) {
+	if plus&minus != 0 {
+		return Number{}, fmt.Errorf("rb: overlapping digit encoding: plus=%#x minus=%#x share bits %#x", plus, minus, plus&minus)
+	}
+	return Number{plus: plus, minus: minus}, nil
+}
+
+// Components returns the positive and negative component bit vectors
+// (X+ and X- of paper §3.2). These are the two operands that the
+// sum-addressed-memory decoder consumes (paper §3.6).
+func (n Number) Components() (plus, minus uint64) { return n.plus, n.minus }
+
+// Int converts the number back to 2's complement. In hardware this is the
+// slow full-carry-propagation subtraction X+ - X- (paper §3.2); here the
+// machine subtract instruction performs it exactly. The result wraps modulo
+// 2^64, matching Alpha quadword semantics.
+func (n Number) Int() int64 { return int64(n.plus - n.minus) }
+
+// Uint is Int reinterpreted as an unsigned quadword bit pattern.
+func (n Number) Uint() uint64 { return n.plus - n.minus }
+
+// Digit returns digit i (weight 2^i). It panics if i is out of [0, Width).
+func (n Number) Digit(i int) Digit {
+	if i < 0 || i >= Width {
+		panic(fmt.Sprintf("rb: digit index %d out of range", i))
+	}
+	return Digit(int8(n.plus>>i&1) - int8(n.minus>>i&1))
+}
+
+// Canonical reports whether the digit encoding invariant holds (no digit has
+// both indicator bits set). All Numbers produced by this package are
+// canonical; FromBits enforces it for externally supplied vectors.
+func (n Number) Canonical() bool { return n.plus&n.minus == 0 }
+
+// IsZero reports whether the number is exactly zero. Because the component
+// vectors are disjoint, a number is zero if and only if every digit is zero,
+// which hardware detects with a wide OR (paper §3.6, "Conditional
+// Operations"); no conversion is needed.
+func (n Number) IsZero() bool { return n.plus == 0 && n.minus == 0 }
+
+// Sign returns -1, 0, or +1 according to the sign of the represented value.
+// The sign of a redundant binary number is the sign of its most significant
+// nonzero digit (paper §3.6): if the leading nonzero digit is at position k,
+// the remaining digits can contribute at most 2^k - 1 in magnitude, so they
+// cannot flip the sign. For the mod-2^64 (quadword) interpretation this test
+// is exact on normalized numbers, which this package maintains everywhere.
+func (n Number) Sign() int {
+	all := n.plus | n.minus
+	if all == 0 {
+		return 0
+	}
+	top := uint64(1) << (63 - bits.LeadingZeros64(all))
+	if n.plus&top != 0 {
+		return 1
+	}
+	return -1
+}
+
+// LSB reports whether the least significant bit of the 2's-complement value
+// is set. A redundant binary value is odd exactly when its least significant
+// digit is nonzero, so hardware needs only a 2-input OR of the digit's two
+// encoding bits (paper §3.6).
+func (n Number) LSB() bool { return (n.plus|n.minus)&1 != 0 }
+
+// TrailingZeroDigits counts trailing zero digits. For a nonzero value this
+// equals the number of trailing zero bits of the 2's-complement value: if the
+// lowest nonzero digit is at position k the value is 2^k times an odd number.
+// This implements CTTZ directly on the redundant representation (paper §3.6).
+// For zero it returns Width.
+func (n Number) TrailingZeroDigits() int {
+	all := n.plus | n.minus
+	if all == 0 {
+		return Width
+	}
+	return bits.TrailingZeros64(all)
+}
+
+// Neg returns the arithmetic negation. Negating a signed-digit number flips
+// the sign of every digit, which in the two-bit encoding just swaps the
+// component vectors. The result is renormalized so that sign tests stay
+// exact (negating -2^63 wraps to -2^63 in quadword arithmetic).
+func (n Number) Neg() Number {
+	return Number{plus: n.minus, minus: n.plus}.normalize()
+}
+
+// Normalized reports whether the most significant nonzero digit agrees in
+// sign with the represented (mod 2^64, signed) value, i.e. whether Sign is
+// trustworthy.
+func (n Number) Normalized() bool {
+	return n == n.normalize()
+}
+
+// normalize applies the most-significant-digit sign fixups of paper §3.5 so
+// that the leading nonzero digit matches the sign of the 2's-complement
+// interpretation of the value:
+//
+//   - if digit 63 is -1 and the rest of the number is negative, digit 63 is
+//     set to +1 (the value changes by +2^64, invisible mod 2^64);
+//   - if digit 63 is +1 and the rest is not negative, digit 63 is set to -1.
+//
+// Hardware applies the same correction at the adder output so that the
+// sign-test circuits used by conditional moves and branches are exact.
+func (n Number) normalize() Number {
+	d63 := Digit(int8(n.plus>>63&1) - int8(n.minus>>63&1))
+	if d63 == 0 {
+		return n
+	}
+	rest := Number{plus: n.plus &^ signBit, minus: n.minus &^ signBit}
+	restNeg := rest.Sign() < 0
+	if d63 == -1 && restNeg {
+		return Number{plus: n.plus | signBit, minus: n.minus &^ signBit}
+	}
+	if d63 == 1 && !restNeg {
+		return Number{plus: n.plus &^ signBit, minus: n.minus | signBit}
+	}
+	return n
+}
+
+// String renders the digits most significant first, one rune per digit:
+// '+' for +1, '-' for -1, and '0'. Example (4 low digits of 3): "...00+-"
+// would print as a 64-rune string.
+func (n Number) String() string {
+	var b strings.Builder
+	b.Grow(Width)
+	for i := Width - 1; i >= 0; i-- {
+		switch n.Digit(i) {
+		case 1:
+			b.WriteByte('+')
+		case -1:
+			b.WriteByte('-')
+		default:
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// ParseDigits parses a digit string in the format produced by String
+// (runes '+', '-', '0', most significant first; shorter strings are
+// zero-extended at the most significant end). It is primarily a test helper.
+func ParseDigits(s string) (Number, error) {
+	if len(s) > Width {
+		return Number{}, fmt.Errorf("rb: digit string longer than %d digits", Width)
+	}
+	var n Number
+	for idx, r := range s {
+		pos := len(s) - 1 - idx
+		switch r {
+		case '+':
+			n.plus |= 1 << pos
+		case '-':
+			n.minus |= 1 << pos
+		case '0':
+		default:
+			return Number{}, fmt.Errorf("rb: invalid digit rune %q", r)
+		}
+	}
+	return n, nil
+}

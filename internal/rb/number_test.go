@@ -1,0 +1,254 @@
+package rb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randNumber produces an arbitrary canonical (but not necessarily normalized)
+// Number for property tests: each digit independently -1, 0, or +1.
+func randNumber(r *rand.Rand) Number {
+	var n Number
+	for i := 0; i < Width; i++ {
+		switch r.Intn(3) {
+		case 0:
+			n.plus |= 1 << i
+		case 1:
+			n.minus |= 1 << i
+		}
+	}
+	return n
+}
+
+func TestFromIntRoundTrip(t *testing.T) {
+	cases := []int64{0, 1, -1, 2, 3, -3, 42, -42, math.MaxInt64, math.MinInt64, math.MinInt64 + 1, 1 << 62, -(1 << 62)}
+	for _, x := range cases {
+		n := FromInt(x)
+		if got := n.Int(); got != x {
+			t.Errorf("FromInt(%d).Int() = %d", x, got)
+		}
+		if !n.Canonical() {
+			t.Errorf("FromInt(%d) not canonical", x)
+		}
+		if !n.Normalized() {
+			t.Errorf("FromInt(%d) not normalized: %v", x, n)
+		}
+	}
+}
+
+func TestFromIntRoundTripProperty(t *testing.T) {
+	f := func(x int64) bool { return FromInt(x).Int() == x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromIntIsHardwired(t *testing.T) {
+	// The conversion must be a rewiring: non-sign bits to plus, sign bit to
+	// minus (paper §3.2).
+	n := FromInt(-1)
+	plus, minus := n.Components()
+	if plus != math.MaxInt64 || minus != signBit {
+		t.Errorf("FromInt(-1) components = %#x, %#x", plus, minus)
+	}
+}
+
+func TestFromBitsRejectsOverlap(t *testing.T) {
+	if _, err := FromBits(3, 1); err == nil {
+		t.Error("FromBits accepted overlapping digit encodings")
+	}
+	n, err := FromBits(0b0100, 0b0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Int(); got != 3 {
+		t.Errorf("<0,1,0,-1>.Int() = %d, want 3 (paper §3.1 example)", got)
+	}
+}
+
+func TestPaperRepresentationExamples(t *testing.T) {
+	// Paper §3.1: <0,1,0,-1> and <0,0,1,1> both represent 3.
+	a, err := ParseDigits("+0-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseDigits("++")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Int() != 3 || b.Int() != 3 {
+		t.Errorf("paper examples: got %d and %d, want 3 and 3", a.Int(), b.Int())
+	}
+}
+
+func TestDigit(t *testing.T) {
+	n, err := ParseDigits("+0-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Digit{-1, 0, 1, 0}
+	for i, w := range want {
+		if got := n.Digit(i); got != w {
+			t.Errorf("digit %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestDigitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Digit(64) did not panic")
+		}
+	}()
+	FromInt(0).Digit(Width)
+}
+
+func TestSign(t *testing.T) {
+	cases := []struct {
+		x    int64
+		want int
+	}{
+		{0, 0}, {1, 1}, {-1, -1}, {math.MaxInt64, 1}, {math.MinInt64, -1}, {123456, 1}, {-7, -1},
+	}
+	for _, c := range cases {
+		if got := FromInt(c.x).Sign(); got != c.want {
+			t.Errorf("Sign(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+// Sign must agree with the 2's-complement interpretation on every normalized
+// number, including those produced by arithmetic rather than conversion.
+func TestSignMatchesValueAfterArithmetic(t *testing.T) {
+	f := func(a, b int64) bool {
+		z, _ := Add(FromInt(a), FromInt(b))
+		v := z.Int()
+		want := 0
+		if v > 0 {
+			want = 1
+		} else if v < 0 {
+			want = -1
+		}
+		return z.Sign() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !FromInt(0).IsZero() {
+		t.Error("FromInt(0) not zero")
+	}
+	if FromInt(1).IsZero() || FromInt(-1).IsZero() {
+		t.Error("nonzero reported zero")
+	}
+	// A canonical number with any nonzero digit cannot represent zero: the
+	// leading nonzero digit dominates the rest.
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		n := randNumber(r)
+		if n.IsZero() != (n.Int() == 0) {
+			t.Fatalf("IsZero mismatch for %v (value %d)", n, n.Int())
+		}
+	}
+}
+
+func TestLSB(t *testing.T) {
+	f := func(x int64) bool { return FromInt(x).LSB() == (x&1 != 0) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// And on arbitrary representations: odd iff digit 0 nonzero.
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		n := randNumber(r)
+		if n.LSB() != (n.Int()&1 != 0) {
+			t.Fatalf("LSB mismatch for %v (value %d)", n, n.Int())
+		}
+	}
+}
+
+func TestTrailingZeroDigits(t *testing.T) {
+	cases := []struct {
+		x    int64
+		want int
+	}{
+		{0, 64}, {1, 0}, {2, 1}, {8, 3}, {-8, 3}, {3 << 10, 10}, {math.MinInt64, 63},
+	}
+	for _, c := range cases {
+		if got := FromInt(c.x).TrailingZeroDigits(); got != c.want {
+			t.Errorf("TrailingZeroDigits(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+	// CTTZ in the RB domain must match CTTZ of the converted value for any
+	// representation, not just converted ones (paper §3.6).
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		n := randNumber(r)
+		v := n.Uint()
+		want := 64
+		if v != 0 {
+			want = 0
+			for v&1 == 0 {
+				want++
+				v >>= 1
+			}
+		}
+		if got := n.TrailingZeroDigits(); got != want {
+			t.Fatalf("TrailingZeroDigits(%v) = %d, want %d (value %d)", n, got, want, n.Int())
+		}
+	}
+}
+
+func TestNeg(t *testing.T) {
+	f := func(x int64) bool {
+		return FromInt(x).Neg().Int() == -x // wraps for MinInt64, as quadwords do
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if got := FromInt(math.MinInt64).Neg().Int(); got != math.MinInt64 {
+		t.Errorf("Neg(MinInt64) = %d, want wrap to MinInt64", got)
+	}
+}
+
+func TestNegNormalizes(t *testing.T) {
+	f := func(x int64) bool { return FromInt(x).Neg().Normalized() }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		n := randNumber(r)
+		s := n.String()
+		if len(s) != Width {
+			t.Fatalf("String length %d", len(s))
+		}
+		back, err := ParseDigits(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != n {
+			t.Fatalf("round trip failed: %v -> %q -> %v", n, s, back)
+		}
+	}
+}
+
+func TestParseDigitsErrors(t *testing.T) {
+	if _, err := ParseDigits("abc"); err == nil {
+		t.Error("ParseDigits accepted invalid runes")
+	}
+	long := make([]byte, Width+1)
+	for i := range long {
+		long[i] = '0'
+	}
+	if _, err := ParseDigits(string(long)); err == nil {
+		t.Error("ParseDigits accepted overlong string")
+	}
+}

@@ -1,0 +1,148 @@
+package rb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCarrySaveAddUint(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		cs := CSFromUint(a).AddUint(b).AddUint(c)
+		return cs.Uint() == a+b+c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCarrySaveAddCarrySave(t *testing.T) {
+	f := func(a, b, c, d uint64) bool {
+		x := CSFromUint(a).AddUint(b)
+		y := CSFromUint(c).AddUint(d)
+		return x.Add(y).Uint() == a+b+c+d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCarrySaveAccumulationChain(t *testing.T) {
+	// A long accumulation (multiplier-style) never propagates a carry until
+	// the single final resolution.
+	r := rand.New(rand.NewSource(101))
+	cs := CSFromUint(0)
+	var ref uint64
+	for i := 0; i < 5000; i++ {
+		v := r.Uint64()
+		cs = cs.AddUint(v)
+		ref += v
+	}
+	if cs.Uint() != ref {
+		t.Fatalf("carry-save chain diverged: %#x vs %#x", cs.Uint(), ref)
+	}
+}
+
+func TestCarrySaveToRB(t *testing.T) {
+	f := func(a, b uint64) bool {
+		cs := CSFromUint(a).AddUint(b)
+		n := cs.ToRB()
+		return n.Uint() == a+b && n.Canonical() && n.Normalized()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRadix4RoundTrip(t *testing.T) {
+	f := func(v uint64) bool { return R4FromUint(v).Uint() == v }
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRadix4DigitAccessors(t *testing.T) {
+	r := R4FromUint(0b11_10_01_00) // digits 0,1,2,3 from the low end
+	for i, want := range []int{0, 1, 2, 3} {
+		if got := r.Digit(i); got != want {
+			t.Errorf("digit %d = %d, want %d", i, got, want)
+		}
+	}
+	r = r.withDigit(1, -3)
+	if r.Digit(1) != -3 || r.Digit(0) != 0 || r.Digit(2) != 2 {
+		t.Errorf("withDigit broke neighbors: %d %d %d", r.Digit(0), r.Digit(1), r.Digit(2))
+	}
+}
+
+func TestRadix4AddMatchesInteger(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return R4Add(R4FromUint(a), R4FromUint(b)).Uint() == a+b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRadix4AddArbitraryDigits(t *testing.T) {
+	// Sums of signed-digit values (not just conversions) must stay correct
+	// and keep every digit in range.
+	r := rand.New(rand.NewSource(102))
+	randR4 := func() Radix4 {
+		var x Radix4
+		for i := 0; i < R4Digits; i++ {
+			x = x.withDigit(i, r.Intn(7)-3)
+		}
+		return x
+	}
+	for trial := 0; trial < 2000; trial++ {
+		x, y := randR4(), randR4()
+		z := R4Add(x, y)
+		if z.Uint() != x.Uint()+y.Uint() {
+			t.Fatalf("R4Add value mismatch")
+		}
+		for i := 0; i < R4Digits; i++ {
+			if d := z.Digit(i); d < -3 || d > 3 {
+				t.Fatalf("digit %d out of range: %d", i, d)
+			}
+		}
+		if R4MaxCarryChain(x, y) > 1 {
+			t.Fatalf("transfer propagated more than one digit")
+		}
+	}
+}
+
+func TestRadix4ChainForwarding(t *testing.T) {
+	// Dependent chains in the radix-4 domain, like radix-2, never convert
+	// intermediates.
+	r := rand.New(rand.NewSource(103))
+	acc := R4FromUint(0)
+	var ref uint64
+	for i := 0; i < 3000; i++ {
+		v := r.Uint64()
+		acc = R4Add(acc, R4FromUint(v))
+		ref += v
+	}
+	if acc.Uint() != ref {
+		t.Fatalf("radix-4 chain diverged")
+	}
+}
+
+func TestR4FromRB(t *testing.T) {
+	r := rand.New(rand.NewSource(104))
+	for i := 0; i < 2000; i++ {
+		n := randNumber(r)
+		r4 := R4FromRB(n)
+		if r4.Uint() != n.Uint() {
+			t.Fatalf("R4FromRB(%v) = %#x, want %#x", n, r4.Uint(), n.Uint())
+		}
+	}
+}
+
+func TestRadix4DigitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range digit access did not panic")
+		}
+	}()
+	R4FromUint(0).Digit(R4Digits)
+}

@@ -1,0 +1,79 @@
+package rb
+
+// ShiftLeft shifts the number left by k digit positions (multiplication by
+// 2^k mod 2^64). Left shifts operate on digits rather than bits (paper §3.6,
+// "Shifts and Scaled Adds"): both component vectors shift together, digits
+// shifted past the most significant position are discarded (quadword wrap),
+// and the most significant digit is sign-corrected afterwards so that sign
+// tests on the result remain exact — the paper's example rewrites a leading
+// +1 to -1 because the shifted value is negative in 2's complement.
+//
+// Right shifts are not provided: the paper performs them in 2's complement
+// because extracting high digits of a redundant number does not round the
+// same way (§3.6).
+func (n Number) ShiftLeft(k uint) Number {
+	if k >= Width {
+		return Number{}
+	}
+	return Number{plus: n.plus << k, minus: n.minus << k}.normalize()
+}
+
+// ScaledAdd computes (x << shift) + y, the Alpha SxADD operation family
+// (S4ADDQ shifts by 2, S8ADDQ by 3). The scale is a digit shift and the sum
+// is a redundant binary addition, so the whole operation executes in the RB
+// domain (paper §3.6).
+func ScaledAdd(x Number, shift uint, y Number) (Number, Flags) {
+	return Add(x.ShiftLeft(shift), y)
+}
+
+// ScaledSub computes (x << shift) - y (Alpha S4SUBQ/S8SUBQ).
+func ScaledSub(x Number, shift uint, y Number) (Number, Flags) {
+	return Sub(x.ShiftLeft(shift), y)
+}
+
+// Longword extracts the low 32 digits as a sign-extended longword, the
+// quadword-to-longword forwarding rule of paper §3.6: digits 32..63 are
+// discarded (they carry weight divisible by 2^32) and the same
+// bogus-overflow/sign machinery used at digit 64 is applied at digit 32, so
+// digit 31 ends up in {-1, 0, +1} with the sign of the wrapped 32-bit value.
+// The resulting Number equals the sign-extended 64-bit value of the low 32
+// bits, which is what Alpha longword operations produce.
+func (n Number) Longword() Number {
+	const lowMask = (uint64(1) << 32) - 1
+	const bit31 = uint64(1) << 31
+	z := Number{plus: n.plus & lowMask, minus: n.minus & lowMask}
+
+	d31 := Digit(int8(z.plus>>31&1) - int8(z.minus>>31&1))
+	if d31 != 0 {
+		rest := Number{plus: z.plus &^ bit31, minus: z.minus &^ bit31}
+		restNeg := rest.Sign() < 0
+		if d31 == -1 && restNeg {
+			// Value below -2^31: adding 2^32 (flip -1 -> +1) wraps it into
+			// range, mirroring overflow rule 2 at digit 32.
+			z.plus |= bit31
+			z.minus &^= bit31
+			d31 = 1
+		} else if d31 == 1 && !restNeg {
+			// Value at or above 2^31: subtract 2^32, mirroring rule 3.
+			z.plus &^= bit31
+			z.minus |= bit31
+			d31 = -1
+		}
+	}
+	// After correction the value lies in [-2^31, 2^31). A negative longword
+	// is represented with digit 31 = -1 and no digits above it, which is
+	// exactly the sign-extended quadword value mod 2^64; conversions of
+	// 2's-complement longwords hardwire bit 31 to the negative component for
+	// the same reason (paper §3.6).
+	return z
+}
+
+// FromLongword converts a 2's-complement longword (low 32 bits of x, sign
+// extended) to redundant binary. Bit 31 is hardwired to the negative
+// component of digit 31, the longword analogue of the FromInt rewiring
+// (paper §3.6, "Quadword to Longword Forwarding").
+func FromLongword(x int32) Number {
+	const bit31 = uint64(1) << 31
+	u := uint64(uint32(x))
+	return Number{plus: u &^ bit31, minus: u & bit31}
+}

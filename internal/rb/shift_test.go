@@ -1,0 +1,147 @@
+package rb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShiftLeftMatchesInteger(t *testing.T) {
+	f := func(x int64, kRaw uint8) bool {
+		k := uint(kRaw) % 70 // include >= Width cases
+		want := uint64(x) << (k % 64)
+		if k >= 64 {
+			want = 0
+		}
+		return FromInt(x).ShiftLeft(k).Uint() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftLeftPaperExample(t *testing.T) {
+	// Paper §3.6: <-1,1,0,1> (-3) shifted left one digit becomes
+	// <-1,0,1,0> (-6). We verify the value transformation on 64-digit
+	// numbers: -3 << 1 == -6 and the result is sign-correct.
+	n := FromInt(-3)
+	s := n.ShiftLeft(1)
+	if s.Int() != -6 {
+		t.Fatalf("(-3) << 1 = %d", s.Int())
+	}
+	if s.Sign() != -1 {
+		t.Fatalf("sign of -6 reported %d", s.Sign())
+	}
+}
+
+func TestShiftLeftNormalizes(t *testing.T) {
+	// Shifting a negative digit into position 63 (or shifting the sign digit
+	// out) must leave the MSD consistent with the wrapped value: "if the most
+	// significant bit of the result is 1, it should be changed to -1".
+	r := rand.New(rand.NewSource(20))
+	for i := 0; i < 3000; i++ {
+		n := randNumber(r)
+		k := uint(r.Intn(64))
+		s := n.ShiftLeft(k)
+		if s.Uint() != n.Uint()<<k {
+			t.Fatalf("value: %v << %d", n, k)
+		}
+		if !s.Normalized() {
+			t.Fatalf("ShiftLeft produced non-normalized %v", s)
+		}
+		wantSign := 0
+		if v := s.Int(); v > 0 {
+			wantSign = 1
+		} else if v < 0 {
+			wantSign = -1
+		}
+		if s.Sign() != wantSign {
+			t.Fatalf("sign after shift: %v (value %d) reported %d", s, s.Int(), s.Sign())
+		}
+	}
+}
+
+func TestScaledAdd(t *testing.T) {
+	f := func(a, b int64) bool {
+		s4, _ := ScaledAdd(FromInt(a), 2, FromInt(b))
+		s8, _ := ScaledAdd(FromInt(a), 3, FromInt(b))
+		return s4.Uint() == uint64(a)*4+uint64(b) && s8.Uint() == uint64(a)*8+uint64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaledSub(t *testing.T) {
+	f := func(a, b int64) bool {
+		s4, _ := ScaledSub(FromInt(a), 2, FromInt(b))
+		s8, _ := ScaledSub(FromInt(a), 3, FromInt(b))
+		return s4.Uint() == uint64(a)*4-uint64(b) && s8.Uint() == uint64(a)*8-uint64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongwordExtraction(t *testing.T) {
+	f := func(x int64) bool {
+		want := uint64(int64(int32(uint32(uint64(x))))) // low 32 bits sign extended
+		return FromInt(x).Longword().Uint() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongwordOnArbitraryRepresentations(t *testing.T) {
+	// Quadword results arrive at longword consumers in redundant form; the
+	// digit-32 correction must recover the sign-extended low half for any
+	// representation (paper §3.6, "Quadword to Longword Forwarding").
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 5000; i++ {
+		n := randNumber(r)
+		lw := n.Longword()
+		want := uint64(int64(int32(uint32(n.Uint()))))
+		if lw.Uint() != want {
+			t.Fatalf("Longword(%v) = %d, want %d", n, lw.Int(), int64(want))
+		}
+		// All digits at and above 32 must be clear except the sign digit 31.
+		plus, minus := lw.Components()
+		if (plus|minus)>>32 != 0 {
+			t.Fatalf("Longword left digits above 31 set: %v", lw)
+		}
+		// Sign digit must make Sign() exact.
+		v := lw.Int()
+		wantSign := 0
+		if v > 0 {
+			wantSign = 1
+		} else if v < 0 {
+			wantSign = -1
+		}
+		if lw.Sign() != wantSign {
+			t.Fatalf("Longword sign of %d reported %d (%v)", v, lw.Sign(), lw)
+		}
+	}
+}
+
+func TestFromLongword(t *testing.T) {
+	f := func(x int32) bool {
+		n := FromLongword(x)
+		return n.Int() == int64(x) && n.Normalized()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongwordIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for i := 0; i < 2000; i++ {
+		n := randNumber(r)
+		once := n.Longword()
+		twice := once.Longword()
+		if once != twice {
+			t.Fatalf("Longword not idempotent for %v", n)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1, 1}); got != 1 {
+		t.Errorf("HM(1,1,1) = %f", got)
+	}
+	if got := HarmonicMean([]float64{2, 2}); got != 2 {
+		t.Errorf("HM(2,2) = %f", got)
+	}
+	// HM(1,3) = 2/(1 + 1/3) = 1.5
+	if got := HarmonicMean([]float64{1, 3}); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("HM(1,3) = %f, want 1.5", got)
+	}
+	if HarmonicMean(nil) != 0 || HarmonicMean([]float64{1, 0}) != 0 {
+		t.Error("degenerate harmonic means not 0")
+	}
+}
+
+func TestHarmonicLessThanArithmetic(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e12 {
+				xs = append(xs, x+0.001)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return HarmonicMean(xs) <= ArithmeticMean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometricMeanRatio(t *testing.T) {
+	a := []float64{2, 2}
+	b := []float64{1, 1}
+	if got := GeometricMeanRatio(a, b); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GMR = %f, want 2", got)
+	}
+	if got := GeometricMeanRatio([]float64{4, 1}, []float64{1, 4}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("GMR = %f, want 1", got)
+	}
+	if GeometricMeanRatio([]float64{1}, []float64{1, 2}) != 0 {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(1, 2, 10) != "#####" {
+		t.Errorf("half bar: %q", Bar(1, 2, 10))
+	}
+	if Bar(2, 2, 10) != "##########" {
+		t.Errorf("full bar: %q", Bar(2, 2, 10))
+	}
+	if Bar(5, 2, 10) != "##########" {
+		t.Errorf("overfull bar clamps: %q", Bar(5, 2, 10))
+	}
+	if Bar(0, 2, 10) != "" || Bar(1, 0, 10) != "" {
+		t.Error("degenerate bars not empty")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Headers: []string{"name", "ipc"}}
+	tb.AddRow("compress", "1.234")
+	tb.AddRow("gcc", "0.9")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "ipc") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "compress") {
+		t.Errorf("row: %q", lines[2])
+	}
+	// Columns aligned: "ipc" starts at the same offset in all lines.
+	off := strings.Index(lines[0], "ipc")
+	if lines[2][off:off+5] != "1.234" {
+		t.Errorf("misaligned column: %q", lines[2])
+	}
+}

@@ -1,0 +1,38 @@
+package tracefile
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// FuzzRead: arbitrary bytes must either parse into a valid trace or error —
+// never panic or allocate unboundedly.
+func FuzzRead(f *testing.F) {
+	w, _ := workload.ByName("go")
+	if trace, err := w.Trace(); err == nil {
+		var buf bytes.Buffer
+		if err := Write(&buf, trace[:200]); err == nil {
+			f.Add(buf.Bytes())
+			// A few corruptions as seeds.
+			b := append([]byte(nil), buf.Bytes()...)
+			b[10] ^= 0xff
+			f.Add(b)
+			f.Add(buf.Bytes()[:30])
+		}
+	}
+	f.Add([]byte("RBTRACE1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		trace, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful parse must round-trip.
+		var buf bytes.Buffer
+		if err := Write(&buf, trace); err != nil {
+			t.Fatalf("parsed trace does not re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,166 @@
+// Package tracefile serializes committed instruction traces to a compact
+// binary format, so expensive functional runs can be captured once and
+// replayed through many machine configurations (the standard trace-driven
+// simulation workflow).
+//
+// Format: a magic header, a varint entry count, then per entry the
+// instruction's 64-bit encoding (isa.Encode) followed by varint-delta PC,
+// next-PC, result, effective address, and flags. Integers use unsigned
+// varints with zigzag encoding for deltas. The format is versioned and
+// self-checking (magic + trailing CRC-free length check on decode).
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// magic identifies the file format and version.
+var magic = [8]byte{'R', 'B', 'T', 'R', 'A', 'C', 'E', '1'}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Write serializes a trace.
+func Write(w io.Writer, trace []emu.TraceEntry) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(trace))); err != nil {
+		return err
+	}
+	prevPC := int64(0)
+	for i := range trace {
+		te := &trace[i]
+		enc, err := te.Inst.Encode()
+		if err != nil {
+			return fmt.Errorf("tracefile: entry %d: %w", i, err)
+		}
+		if err := putUvarint(enc); err != nil {
+			return err
+		}
+		if err := putVarint(int64(te.PC) - prevPC); err != nil {
+			return err
+		}
+		prevPC = int64(te.PC)
+		if err := putVarint(int64(te.NextPC) - int64(te.PC)); err != nil {
+			return err
+		}
+		var flags uint64
+		if te.HasResult {
+			flags |= 1
+		}
+		if te.Taken {
+			flags |= 2
+		}
+		if err := putUvarint(flags); err != nil {
+			return err
+		}
+		if te.HasResult {
+			if err := putUvarint(te.Result); err != nil {
+				return err
+			}
+		}
+		if isa.ClassOf(te.Inst.Op).IsMemory() {
+			if err := putUvarint(te.EA); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) ([]emu.TraceEntry, error) {
+	br := bufio.NewReader(r)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: reading header: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("tracefile: bad magic %q", got[:])
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: reading count: %w", err)
+	}
+	const maxEntries = 1 << 30
+	if count > maxEntries {
+		return nil, fmt.Errorf("tracefile: implausible entry count %d", count)
+	}
+	// Grow incrementally rather than trusting the header count: a corrupt
+	// header must not trigger a giant allocation before the (short) body
+	// fails to parse.
+	trace := make([]emu.TraceEntry, 0, minInt(int(count), 1<<16))
+	prevPC := int64(0)
+	for i := 0; i < int(count); i++ {
+		trace = append(trace, emu.TraceEntry{})
+		te := &trace[i]
+		enc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: entry %d: %w", i, err)
+		}
+		te.Inst, err = isa.Decode(enc)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: entry %d: %w", i, err)
+		}
+		dpc, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: entry %d pc: %w", i, err)
+		}
+		te.PC = int(prevPC + dpc)
+		prevPC = int64(te.PC)
+		dnext, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: entry %d nextpc: %w", i, err)
+		}
+		te.NextPC = te.PC + int(dnext)
+		flags, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: entry %d flags: %w", i, err)
+		}
+		if flags&^uint64(3) != 0 {
+			return nil, fmt.Errorf("tracefile: entry %d: unknown flags %#x", i, flags)
+		}
+		te.HasResult = flags&1 != 0
+		te.Taken = flags&2 != 0
+		if te.HasResult {
+			if te.Result, err = binary.ReadUvarint(br); err != nil {
+				return nil, fmt.Errorf("tracefile: entry %d result: %w", i, err)
+			}
+		}
+		if isa.ClassOf(te.Inst.Op).IsMemory() {
+			if te.EA, err = binary.ReadUvarint(br); err != nil {
+				return nil, fmt.Errorf("tracefile: entry %d ea: %w", i, err)
+			}
+		}
+		te.Seq = int64(i)
+	}
+	// Trailing garbage indicates truncation elsewhere or a concatenated file;
+	// reject it so corruption cannot pass silently.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("tracefile: trailing data after %d entries", count)
+	}
+	return trace, nil
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GenParams parameterizes a generated synthetic kernel. Generate turns it
+// into a runnable Workload, so studies beyond the 20 SPEC-flavored
+// benchmarks (latency sensitivity sweeps, branch-entropy sweeps, footprint
+// sweeps) can build exactly the program they need.
+type GenParams struct {
+	// Name labels the workload (required, must be unique per cache).
+	Name string
+	// Iterations is the outer loop trip count (default 2000).
+	Iterations int
+	// ChainLength is the number of dependent ADDs on the loop-carried
+	// critical chain per iteration (default 4). This is the knob the paper's
+	// machines disagree about: Baseline pays 2 cycles per link.
+	ChainLength int
+	// Loads and Stores per iteration (defaults 2 and 1) walk a strided
+	// pattern over the footprint.
+	Loads, Stores int
+	// FootprintBytes is the data region size; rounded up to a power of two,
+	// minimum 4KB (default 64KB).
+	FootprintBytes int
+	// BranchTakenPercent is the probability (0..100) that the per-iteration
+	// data-dependent branch is taken: 0 or 100 are perfectly predictable,
+	// 50 is a coin flip (default 85).
+	BranchTakenPercent int
+	// LogicalOps is the number of 2's-complement logical operations per
+	// iteration consuming the chain's value — each one is a format
+	// conversion on the RB machines (default 1).
+	LogicalOps int
+	// MulOps inserts 10-cycle multiplies off the carried chain (default 0).
+	MulOps int
+	// Seed selects the input data (default 1).
+	Seed uint64
+}
+
+func (p *GenParams) setDefaults() {
+	if p.Iterations == 0 {
+		p.Iterations = 2000
+	}
+	if p.ChainLength == 0 {
+		p.ChainLength = 4
+	}
+	if p.Loads == 0 {
+		p.Loads = 2
+	}
+	if p.Stores == 0 {
+		p.Stores = 1
+	}
+	if p.FootprintBytes == 0 {
+		p.FootprintBytes = 64 << 10
+	}
+	if p.BranchTakenPercent == 0 {
+		p.BranchTakenPercent = 85
+	}
+	if p.LogicalOps == 0 {
+		p.LogicalOps = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+}
+
+func (p *GenParams) validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: Generate requires a name")
+	}
+	if p.Iterations < 1 || p.Iterations > 1_000_000 {
+		return fmt.Errorf("workload: iterations %d out of range", p.Iterations)
+	}
+	if p.ChainLength < 1 || p.ChainLength > 64 {
+		return fmt.Errorf("workload: chain length %d out of range [1, 64]", p.ChainLength)
+	}
+	if p.Loads < 0 || p.Loads > 16 || p.Stores < 0 || p.Stores > 16 {
+		return fmt.Errorf("workload: loads/stores out of range [0, 16]")
+	}
+	if p.BranchTakenPercent < 0 || p.BranchTakenPercent > 100 {
+		return fmt.Errorf("workload: branch percentage %d out of range", p.BranchTakenPercent)
+	}
+	if p.LogicalOps < 0 || p.LogicalOps > 16 || p.MulOps < 0 || p.MulOps > 8 {
+		return fmt.Errorf("workload: logical/multiply counts out of range")
+	}
+	if p.FootprintBytes < 0 || p.FootprintBytes > 64<<20 {
+		return fmt.Errorf("workload: footprint %d out of range", p.FootprintBytes)
+	}
+	return nil
+}
+
+// Generate builds a synthetic workload from the parameters. The kernel's
+// structure: an input tape supplies per-iteration entropy; a strided pointer
+// walks the footprint for the loads and stores; a ChainLength-long dependent
+// add chain carries across iterations; LogicalOps consume the chain in the
+// 2's-complement domain; a data-dependent branch is taken with the requested
+// probability.
+func Generate(p GenParams) (*Workload, error) {
+	p.setDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	footprint := 4096
+	for footprint < p.FootprintBytes {
+		footprint <<= 1
+	}
+	const dataBase = 0x400000
+	tapeBase := uint64(dataBase + footprint)
+
+	var b strings.Builder
+	// Input data: the footprint (so loads return varied values) and the tape.
+	fmt.Fprintf(&b, "%s", dataQuads(dataBase, min(footprint/8, 8192), p.Seed*3+7, nil))
+	fmt.Fprintf(&b, "%s", tapeData(tapeBase, p.Seed))
+	fmt.Fprintf(&b, "        li   r10, %d          ; footprint base\n", dataBase)
+	fmt.Fprintf(&b, "%s", tapeSetup(fmt.Sprintf("%d", tapeBase)))
+	b.WriteString("        clr  r1                  ; chain accumulator\n")
+	b.WriteString("        clr  r20                 ; taken-side counter\n")
+	b.WriteString("        clr  r21                 ; logical accumulator\n")
+	b.WriteString("        clr  r11                 ; walk offset\n")
+	fmt.Fprintf(&b, "        li   r29, %d\n", p.Iterations)
+	b.WriteString("loop:\n")
+	b.WriteString(tapeNext("r2"))
+	// Strided walk over the footprint.
+	mask := footprint - 1
+	for i := 0; i < p.Loads; i++ {
+		fmt.Fprintf(&b, "        lda  r11, %d(r11)\n", 8*(i+1)*7)
+		fmt.Fprintf(&b, "        and  r11, #%d, r12\n", mask&^7)
+		b.WriteString("        addq r10, r12, r12\n")
+		fmt.Fprintf(&b, "        ldq  r%d, 0(r12)\n", 13+i%3)
+	}
+	// The carried dependent chain, fed by the first load when present.
+	feed := "r2"
+	if p.Loads > 0 {
+		feed = "r13"
+	}
+	fmt.Fprintf(&b, "        addq r1, %s, r1\n", feed)
+	for i := 1; i < p.ChainLength; i++ {
+		fmt.Fprintf(&b, "        addq r1, #%d, r1\n", i)
+	}
+	for i := 0; i < p.MulOps; i++ {
+		fmt.Fprintf(&b, "        mulq r2, #%d, r%d\n", 3+2*i, 16+i%2)
+	}
+	for i := 0; i < p.LogicalOps; i++ {
+		fmt.Fprintf(&b, "        and  r1, #%d, r21\n", 255<<uint(i%3))
+	}
+	for i := 0; i < p.Stores; i++ {
+		fmt.Fprintf(&b, "        lda  r11, %d(r11)\n", 8*(i+3)*5)
+		fmt.Fprintf(&b, "        and  r11, #%d, r12\n", mask&^7)
+		b.WriteString("        addq r10, r12, r12\n")
+		b.WriteString("        stq  r1, 0(r12)\n")
+	}
+	// Data-dependent branch: taken when the tape byte falls below the
+	// threshold.
+	threshold := (p.BranchTakenPercent*256 + 50) / 100
+	b.WriteString("        and  r2, #255, r3\n")
+	fmt.Fprintf(&b, "        cmplt r3, #%d, r4\n", threshold)
+	b.WriteString("        bne  r4, taken\n")
+	b.WriteString("        xor  r21, r2, r21\n")
+	b.WriteString("        br   r31, join\n")
+	b.WriteString("taken:  addq r20, #1, r20\n")
+	b.WriteString("join:   subq r29, #1, r29\n")
+	b.WriteString("        bgt  r29, loop\n")
+	b.WriteString("        halt\n")
+
+	return &Workload{
+		Name:  p.Name,
+		Suite: "generated",
+		Description: fmt.Sprintf("generated kernel: chain %d, %dL/%dS over %dKB, %d%% taken, %d logical, %d mul",
+			p.ChainLength, p.Loads, p.Stores, footprint>>10, p.BranchTakenPercent, p.LogicalOps, p.MulOps),
+		Source:   b.String(),
+		MaxInsts: int64(p.Iterations)*int64(16+p.ChainLength+4*(p.Loads+p.Stores)+p.LogicalOps+p.MulOps) + 20000,
+	}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
