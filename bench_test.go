@@ -1,6 +1,6 @@
 // Benchmark harness: one benchmark per paper table/figure (regenerating the
 // artifact end to end and reporting the headline metric), plus component
-// microbenchmarks and the ablation studies called out in DESIGN.md §7.
+// microbenchmarks and the ablation studies called out in DESIGN.md §8.
 //
 // Run: go test -bench=. -benchmem
 package repro_test
@@ -156,7 +156,7 @@ func BenchmarkTable1Classification(b *testing.B) {
 	b.ReportMetric(float64(total), "instructions")
 }
 
-// --- Ablation studies (DESIGN.md §7) ----------------------------------------
+// --- Ablation studies (DESIGN.md §8) ----------------------------------------
 
 // BenchmarkAblationConversionLatency sweeps the RB->TC converter depth.
 func BenchmarkAblationConversionLatency(b *testing.B) {

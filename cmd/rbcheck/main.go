@@ -1,0 +1,74 @@
+// Command rbcheck runs the differential verification suite: lockstep oracle
+// replays, cross-machine invariants, cross-layer adder equivalence, and
+// RB->TC converter equivalence (see internal/check).
+//
+// Usage:
+//
+//	rbcheck [-quick|-full] [-json] [-seed N]
+//
+// The quick tier is the CI gate and finishes in seconds; the full tier runs
+// every workload, both widths, and the deep exhaustive/random trial counts.
+// -json emits one machine-readable object for CI consumption. The exit
+// status is 0 iff every check passed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/check"
+)
+
+func main() {
+	quick := flag.Bool("quick", true, "run the quick tier (the CI gate)")
+	full := flag.Bool("full", false, "run the full tier (overrides -quick)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
+	seed := flag.Int64("seed", 0, "seed for randomized trials (0 = fixed default)")
+	flag.Parse()
+
+	opts := check.Options{Full: *full, Seed: *seed}
+	_ = quick // -quick is the default; -full overrides it
+	reports := check.Run(opts)
+	passed := check.Passed(reports)
+
+	if *jsonOut {
+		tier := "quick"
+		if opts.Full {
+			tier = "full"
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Tier    string         `json:"tier"`
+			Passed  bool           `json:"passed"`
+			Reports []check.Report `json:"reports"`
+		}{tier, passed, reports}); err != nil {
+			fmt.Fprintln(os.Stderr, "rbcheck:", err)
+			os.Exit(1)
+		}
+	} else {
+		var failed int
+		for _, r := range reports {
+			status := "ok  "
+			if !r.Passed {
+				status = "FAIL"
+				failed++
+			}
+			fmt.Printf("%s  %-10s %-40s %10d trials  %6dms", status, r.Layer, r.Name, r.Trials, r.Millis)
+			if r.Detail != "" {
+				fmt.Printf("  %s", r.Detail)
+			}
+			fmt.Println()
+		}
+		if passed {
+			fmt.Printf("PASS: %d checks\n", len(reports))
+		} else {
+			fmt.Printf("FAIL: %d of %d checks failed\n", failed, len(reports))
+		}
+	}
+	if !passed {
+		os.Exit(1)
+	}
+}

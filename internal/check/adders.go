@@ -1,0 +1,280 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/gates"
+	"repro/internal/rb"
+)
+
+// The adders layer: cross-layer equivalence of the arithmetic stack. The
+// gate netlists, internal/rb's word-level operations, and native int64
+// arithmetic must compute the same function — exhaustively at small widths,
+// and over boundary patterns plus random redundant forms at 64 bits.
+
+// Adders runs the adder-equivalence layer.
+func Adders(opts Options) []Report {
+	var out []Report
+	// 2's-complement adder netlists, exhaustive over all operand pairs.
+	for _, n := range []int{4, 8} {
+		n := n
+		out = append(out, run("adders", fmt.Sprintf("tc-gates-exhaustive/%d-bit", n),
+			func() (int64, string, error) { return tcGatesExhaustive(n) }))
+	}
+	// RB adder netlist, exhaustive over all digit-vector pairs.
+	rbN := opts.pick(4, 6)
+	out = append(out, run("adders", fmt.Sprintf("rb-gates-exhaustive/%d-digit", rbN),
+		func() (int64, string, error) { return rbGatesExhaustive(rbN) }))
+	// 64-bit word-level RB arithmetic vs native.
+	out = append(out, run("adders", "rb-word/64-bit",
+		func() (int64, string, error) { return rbWord64(opts) }))
+	// 64-bit RB adder netlist vs native.
+	out = append(out, run("adders", "rb-gates/64-digit",
+		func() (int64, string, error) { return rbGates64(opts) }))
+	// Carry-save and radix-4 redundant forms vs native.
+	out = append(out, run("adders", "carry-save",
+		func() (int64, string, error) { return carrySaveCheck(opts) }))
+	out = append(out, run("adders", "radix-4",
+		func() (int64, string, error) { return radix4Check(opts) }))
+	return out
+}
+
+// tcGatesExhaustive proves the ripple-carry and Kogge-Stone netlists compute
+// n-bit addition for every operand pair.
+func tcGatesExhaustive(n int) (int64, string, error) {
+	adders := []struct {
+		name string
+		r    *gates.AdderResult
+	}{
+		{"ripple-carry", gates.RippleCarryAdder(n)},
+		{"kogge-stone", gates.KoggeStoneAdder(n)},
+	}
+	mask := uint64(1)<<uint(n) - 1
+	var trials int64
+	for _, ad := range adders {
+		for a := uint64(0); a <= mask; a++ {
+			for b := uint64(0); b <= mask; b++ {
+				sum, cout, err := ad.r.EvalWords(a, b)
+				if err != nil {
+					return trials, "", err
+				}
+				trials++
+				want := a + b
+				if sum != want&mask || cout != (want>>uint(n) != 0) {
+					return trials, "", fmt.Errorf("%s(%d): %d+%d = sum %d cout %v, want %d cout %v",
+						ad.name, n, a, b, sum, cout, want&mask, want>>uint(n) != 0)
+				}
+			}
+		}
+	}
+	return trials, fmt.Sprintf("all %d operand pairs, both netlists", (mask+1)*(mask+1)), nil
+}
+
+// digitVectors enumerates every valid n-digit (plus, minus) component pair:
+// per digit the encodings are (0,0), (1,0), (0,1) — 3^n vectors.
+func digitVectors(n int) [][2]uint64 {
+	out := [][2]uint64{{0, 0}}
+	for i := 0; i < n; i++ {
+		bit := uint64(1) << uint(i)
+		next := make([][2]uint64, 0, 3*len(out))
+		for _, v := range out {
+			next = append(next, v, [2]uint64{v[0] | bit, v[1]}, [2]uint64{v[0], v[1] | bit})
+		}
+		out = next
+	}
+	return out
+}
+
+// digitValue is the signed value of an n-digit component pair.
+func digitValue(plus, minus uint64) int64 { return int64(plus) - int64(minus) }
+
+// rbGatesExhaustive proves the RB adder netlist computes exact signed-digit
+// addition — value(sum) + carry*2^n == value(a) + value(b) — for every pair
+// of n-digit redundant operands, and that the sum encoding stays disjoint.
+func rbGatesExhaustive(n int) (int64, string, error) {
+	r := gates.RBAdder(n)
+	vecs := digitVectors(n)
+	var trials int64
+	for _, a := range vecs {
+		for _, b := range vecs {
+			sp, sm, coutP, coutM, err := r.EvalDigits(a[0], a[1], b[0], b[1])
+			if err != nil {
+				return trials, "", err
+			}
+			trials++
+			if sp&sm != 0 {
+				return trials, "", fmt.Errorf("RBAdder(%d): sum encoding overlap plus=%#x minus=%#x for a=%v b=%v",
+					n, sp, sm, a, b)
+			}
+			carry := int64(0)
+			if coutP {
+				carry++
+			}
+			if coutM {
+				carry--
+			}
+			got := digitValue(sp, sm) + carry<<uint(n)
+			want := digitValue(a[0], a[1]) + digitValue(b[0], b[1])
+			if got != want {
+				return trials, "", fmt.Errorf("RBAdder(%d): a=%v b=%v: value %d (carry %d), want %d",
+					n, a, b, got, carry, want)
+			}
+		}
+	}
+	return trials, fmt.Sprintf("all %d digit-vector pairs", len(vecs)*len(vecs)), nil
+}
+
+// operandPairs yields the 64-bit differential corpus: every boundary pair
+// plus count random pairs.
+func operandPairs(opts Options, name string, count int, visit func(x, y uint64)) int64 {
+	var trials int64
+	for _, x := range BoundaryOperands {
+		for _, y := range BoundaryOperands {
+			visit(x, y)
+			trials++
+		}
+	}
+	rnd := opts.rng(name)
+	for i := 0; i < count; i++ {
+		visit(rnd.Uint64(), rnd.Uint64())
+		trials++
+	}
+	return trials
+}
+
+// rbWord64 proves the 64-bit word-level RB operations — the parallel adder,
+// subtraction, and the digit-serial reference model — agree with native
+// integer arithmetic, including on non-canonical redundant operand forms.
+func rbWord64(opts Options) (int64, string, error) {
+	rnd := opts.rng("rb-word-forms")
+	var firstErr error
+	trials := operandPairs(opts, "rb-word/64-bit", opts.pick(2000, 50000), func(x, y uint64) {
+		if firstErr != nil {
+			return
+		}
+		// Alternate canonical and randomly re-encoded redundant forms: the
+		// adders must be correct for the whole representation class.
+		nx, ny := rb.FromUint(x), rb.FromUint(y)
+		if rnd.Intn(2) == 0 {
+			nx = rb.RedundantForm(x, rnd)
+		}
+		if rnd.Intn(2) == 0 {
+			ny = rb.RedundantForm(y, rnd)
+		}
+		if add, _ := rb.Add(nx, ny); add.Uint() != x+y {
+			firstErr = fmt.Errorf("rb.Add(%#x, %#x) = %#x, want %#x", x, y, add.Uint(), x+y)
+			return
+		}
+		if sub, _ := rb.Sub(nx, ny); sub.Uint() != x-y {
+			firstErr = fmt.Errorf("rb.Sub(%#x, %#x) = %#x, want %#x", x, y, sub.Uint(), x-y)
+			return
+		}
+		if ds, _ := rb.AddDigitSerial(nx, ny); ds.Uint() != x+y {
+			firstErr = fmt.Errorf("rb.AddDigitSerial(%#x, %#x) = %#x, want %#x", x, y, ds.Uint(), x+y)
+		}
+	})
+	return trials, "add, sub, digit-serial vs native", firstErr
+}
+
+// rbGates64 proves the full-width RB adder netlist agrees with native 64-bit
+// arithmetic (mod 2^64, where the carry-out digit vanishes) over boundary
+// patterns and random redundant forms.
+func rbGates64(opts Options) (int64, string, error) {
+	r := gates.RBAdder(64)
+	rnd := opts.rng("rb-gates-forms")
+	var firstErr error
+	trials := operandPairs(opts, "rb-gates/64-digit", opts.pick(300, 3000), func(x, y uint64) {
+		if firstErr != nil {
+			return
+		}
+		nx, ny := rb.RedundantForm(x, rnd), rb.RedundantForm(y, rnd)
+		xp, xm := nx.Components()
+		yp, ym := ny.Components()
+		sp, sm, _, _, err := r.EvalDigits(xp, xm, yp, ym)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		if sp&sm != 0 {
+			firstErr = fmt.Errorf("RBAdder(64): sum encoding overlap for %#x + %#x", x, y)
+			return
+		}
+		if got := sp - sm; got != x+y {
+			firstErr = fmt.Errorf("RBAdder(64): %#x + %#x = %#x, want %#x", x, y, got, x+y)
+		}
+	})
+	return trials, "gate netlist vs native mod 2^64", firstErr
+}
+
+// carrySaveCheck proves the carry-save accumulator form agrees with native
+// arithmetic: single additions, accumulation chains, carry-save/carry-save
+// addition, and conversion into the RB domain.
+func carrySaveCheck(opts Options) (int64, string, error) {
+	rnd := opts.rng("carry-save")
+	var firstErr error
+	trials := operandPairs(opts, "carry-save", opts.pick(2000, 20000), func(x, y uint64) {
+		if firstErr != nil {
+			return
+		}
+		cs := rb.CSFromUint(x).AddUint(y)
+		if cs.Uint() != x+y {
+			firstErr = fmt.Errorf("CarrySave %#x + %#x = %#x, want %#x", x, y, cs.Uint(), x+y)
+			return
+		}
+		two := rb.CSFromUint(x).AddUint(y).Add(rb.CSFromUint(y).AddUint(x))
+		if two.Uint() != 2*(x+y) {
+			firstErr = fmt.Errorf("CarrySave.Add: got %#x, want %#x", two.Uint(), 2*(x+y))
+			return
+		}
+		if n := cs.ToRB(); n.Uint() != x+y {
+			firstErr = fmt.Errorf("CarrySave.ToRB: got %#x, want %#x", n.Uint(), x+y)
+		}
+	})
+	if firstErr != nil {
+		return trials, "", firstErr
+	}
+	// Accumulation chains: the redundant accumulator never propagates a carry
+	// mid-chain, so long sums must still land on the native total.
+	for chain := 0; chain < opts.pick(20, 200); chain++ {
+		var want uint64
+		cs := rb.CSFromUint(0)
+		for i := 0; i < 64; i++ {
+			v := rnd.Uint64()
+			want += v
+			cs = cs.AddUint(v)
+			trials++
+		}
+		if cs.Uint() != want {
+			return trials, "", fmt.Errorf("64-term carry-save chain: got %#x, want %#x", cs.Uint(), want)
+		}
+	}
+	return trials, "add, chains, ToRB vs native", nil
+}
+
+// radix4Check proves the radix-4 signed-digit form agrees with native
+// arithmetic and that its carry chains stay within the one-position bound
+// that makes the representation constant-depth.
+func radix4Check(opts Options) (int64, string, error) {
+	var firstErr error
+	trials := operandPairs(opts, "radix-4", opts.pick(2000, 20000), func(x, y uint64) {
+		if firstErr != nil {
+			return
+		}
+		rx, ry := rb.R4FromUint(x), rb.R4FromUint(y)
+		sum := rb.R4Add(rx, ry)
+		if sum.Uint() != x+y {
+			firstErr = fmt.Errorf("R4Add(%#x, %#x) = %#x, want %#x", x, y, sum.Uint(), x+y)
+			return
+		}
+		if chain := rb.R4MaxCarryChain(rx, ry); chain > 1 {
+			firstErr = fmt.Errorf("R4Add(%#x, %#x): carry chain length %d > 1", x, y, chain)
+			return
+		}
+		// Cross-form: an RB value carried into the radix-4 domain keeps its
+		// value.
+		if r4 := rb.R4FromRB(rb.FromUint(x)); r4.Uint() != x {
+			firstErr = fmt.Errorf("R4FromRB(%#x) = %#x", x, r4.Uint())
+		}
+	})
+	return trials, "add, carry-chain bound, RB crossover vs native", firstErr
+}

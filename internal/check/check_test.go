@@ -1,0 +1,47 @@
+package check
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestArithmeticLayersPass runs the adder and converter layers at the quick
+// tier — the cheap, simulation-free half of the suite — as part of the
+// ordinary test run. The oracle and invariant layers are exercised by
+// cmd/rbcheck and their own focused tests.
+func TestArithmeticLayersPass(t *testing.T) {
+	opts := Options{}
+	for _, r := range append(Adders(opts), Converter(opts)...) {
+		if !r.Passed {
+			t.Errorf("%s/%s failed: %s", r.Layer, r.Name, r.Detail)
+		}
+		if r.Trials == 0 {
+			t.Errorf("%s/%s performed no comparisons", r.Layer, r.Name)
+		}
+	}
+}
+
+// TestFaultInjectionSelfCheck runs the oracle's self-test directly: an
+// injected digit flip must be caught at exactly the faulted instruction.
+func TestFaultInjectionSelfCheck(t *testing.T) {
+	trials, _, err := faultInjectionCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trials == 0 {
+		t.Fatal("fault-injection self-check injected no faults")
+	}
+}
+
+func TestReportJSONShape(t *testing.T) {
+	b, err := json.Marshal(Report{Layer: "adders", Name: "x", Passed: true, Trials: 3, Millis: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"layer"`, `"name"`, `"passed"`, `"trials"`, `"duration_ms"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("report JSON missing %s: %s", key, b)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/gates"
+	"repro/internal/rb"
+)
+
+// The converter layer: the RB -> 2's-complement converter netlist and the
+// word-level conversion (Number.Uint) must agree with native arithmetic over
+// the whole redundant representation class — the converter sits on every
+// path out of the RB domain, so a bug here corrupts architectural state.
+
+// Converter runs the converter-equivalence layer.
+func Converter(opts Options) []Report {
+	var out []Report
+	for _, n := range []int{4, 8} {
+		n := n
+		out = append(out, run("converter", fmt.Sprintf("gates-exhaustive/%d-digit", n),
+			func() (int64, string, error) { return converterExhaustive(n) }))
+	}
+	out = append(out, run("converter", "gates/64-digit",
+		func() (int64, string, error) { return converter64(opts) }))
+	out = append(out, run("converter", "redundant-form-roundtrip",
+		func() (int64, string, error) { return redundantFormRoundTrip(opts) }))
+	return out
+}
+
+// converterExhaustive proves the converter netlist maps every valid n-digit
+// redundant input to its value mod 2^n.
+func converterExhaustive(n int) (int64, string, error) {
+	r := gates.RBToTCConverter(n)
+	mask := uint64(1)<<uint(n) - 1
+	var trials int64
+	for _, v := range digitVectors(n) {
+		out, err := r.EvalWords(v[0], v[1])
+		if err != nil {
+			return trials, "", err
+		}
+		trials++
+		if want := (v[0] - v[1]) & mask; out != want {
+			return trials, "", fmt.Errorf("converter(%d): plus=%#x minus=%#x -> %#x, want %#x",
+				n, v[0], v[1], out, want)
+		}
+	}
+	return trials, fmt.Sprintf("all %d digit vectors", trials), nil
+}
+
+// converter64 proves the 64-digit converter netlist agrees with the
+// word-level conversion over boundary values and random redundant forms.
+func converter64(opts Options) (int64, string, error) {
+	r := gates.RBToTCConverter(64)
+	rnd := opts.rng("converter-forms")
+	var trials int64
+	check := func(n rb.Number) error {
+		trials++
+		p, m := n.Components()
+		out, err := r.EvalWords(p, m)
+		if err != nil {
+			return err
+		}
+		if out != n.Uint() {
+			return fmt.Errorf("converter(64): plus=%#x minus=%#x -> %#x, want %#x", p, m, out, n.Uint())
+		}
+		return nil
+	}
+	for _, v := range BoundaryOperands {
+		if err := check(rb.FromUint(v)); err != nil {
+			return trials, "", err
+		}
+		if err := check(rb.RedundantForm(v, rnd)); err != nil {
+			return trials, "", err
+		}
+	}
+	for i := 0; i < opts.pick(500, 5000); i++ {
+		if err := check(rb.RedundantForm(rnd.Uint64(), rnd)); err != nil {
+			return trials, "", err
+		}
+	}
+	return trials, "netlist vs word-level conversion", nil
+}
+
+// redundantFormRoundTrip proves the random re-encoder used throughout the
+// suite is itself value-preserving — otherwise every "redundant form" trial
+// above would be testing against the wrong expected value.
+func redundantFormRoundTrip(opts Options) (int64, string, error) {
+	rnd := opts.rng("roundtrip")
+	var trials int64
+	for _, v := range BoundaryOperands {
+		for i := 0; i < 8; i++ {
+			trials++
+			if got := rb.RedundantForm(v, rnd).Uint(); got != v {
+				return trials, "", fmt.Errorf("RedundantForm(%#x) has value %#x", v, got)
+			}
+		}
+	}
+	for i := 0; i < opts.pick(2000, 20000); i++ {
+		trials++
+		v := rnd.Uint64()
+		if got := rb.RedundantForm(v, rnd).Uint(); got != v {
+			return trials, "", fmt.Errorf("RedundantForm(%#x) has value %#x", v, got)
+		}
+	}
+	return trials, "re-encoder value preservation", nil
+}

@@ -188,6 +188,12 @@ func (s *Simulator) retire(cycle int64) {
 		if s.dpEnabled {
 			s.datapathCheck(int(s.retirePtr))
 		}
+		if s.oracle != nil {
+			if err := s.oracleStep(int(s.retirePtr), cycle); err != nil {
+				s.oracleErr = err
+				return
+			}
+		}
 		if s.stages != nil {
 			s.stages[s.retirePtr].Retire = cycle
 		}

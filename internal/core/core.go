@@ -108,6 +108,17 @@ type Simulator struct {
 
 	res *Result
 
+	// Lockstep oracle state (EnableOracle / RunLockstep): a functional
+	// reference emulator stepped once per committed instruction, the
+	// committed architectural register view it is compared against, and the
+	// first divergence found. faultSeq/faultDigit arm a single injected
+	// write-back fault (InjectFault) the oracle must catch; faultSeq -1 = none.
+	oracle     *emu.Emulator
+	oracleRegs [isa.NumRegs]uint64
+	oracleErr  error
+	faultSeq   int64
+	faultDigit int
+
 	// stages captures per-instruction pipeline timing when enabled via
 	// RunWithStages (used by the pipeline-diagram renderer).
 	stages []StageRecord
@@ -135,6 +146,7 @@ func New(cfg machine.Config, workload string, trace []emu.TraceEntry) (*Simulato
 		fetchBlockedIdx: -1,
 		lastFetchLine:   -1,
 		wpPC:            -1,
+		faultSeq:        -1,
 		res:             &Result{Machine: cfg.Name, Workload: workload},
 		dpEnabled:       cfg.DatapathCheck,
 	}
@@ -236,6 +248,9 @@ func (s *Simulator) Simulate() (*Result, error) {
 		s.dispatch(cycle, srcIdx, srcTC, nsrc, memDep)
 		s.issue(cycle)
 		s.retire(cycle)
+		if s.oracleErr != nil {
+			return nil, s.oracleErr
+		}
 		s.res.OccupancySum += int64(s.inFlight)
 
 		if s.retirePtr != lastRetired {

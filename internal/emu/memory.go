@@ -57,3 +57,30 @@ func (m *Memory) Write(addr uint64, size int, v uint64) {
 
 // FootprintBytes reports how many pages have been touched, in bytes.
 func (m *Memory) FootprintBytes() int { return len(m.pages) * pageSize }
+
+// Equal reports whether two memories hold identical contents. Pages touched
+// in only one memory compare against all-zero, so two memories that read the
+// same everywhere are equal regardless of which pages were instantiated.
+// Used by the differential verification suite to compare final machine
+// states of independent runs.
+func (m *Memory) Equal(o *Memory) bool {
+	var zero [pageSize]byte
+	for key, p := range m.pages {
+		q := o.pages[key]
+		if q == nil {
+			if *p != zero {
+				return false
+			}
+			continue
+		}
+		if *p != *q {
+			return false
+		}
+	}
+	for key, q := range o.pages {
+		if m.pages[key] == nil && *q != zero {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// TestResultCacheSingleflight proves concurrent misses on one cold cell
+// coalesce into exactly one simulation: 16 goroutines race runOne on a key
+// no other test uses, and the core.Run invocation counter moves by one.
+func TestResultCacheSingleflight(t *testing.T) {
+	w, ok := workload.ByName("compress")
+	if !ok {
+		t.Fatal("compress workload missing")
+	}
+	cfg := machine.NewIdeal(4)
+	cfg.Name = "singleflight-probe" // unique cache key: never shared with other tests
+
+	before := coreRuns.Load()
+	const racers = 16
+	results := make([]interface{}, racers)
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			r, err := runOne(cfg, w)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+
+	if got := coreRuns.Load() - before; got != 1 {
+		t.Errorf("16 concurrent cold misses ran the simulation %d times, want 1", got)
+	}
+	for i := 1; i < racers; i++ {
+		if results[i] != results[0] {
+			t.Errorf("racer %d got a different result pointer than racer 0", i)
+		}
+	}
+}

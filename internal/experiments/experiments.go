@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/machine"
@@ -19,25 +20,43 @@ import (
 )
 
 // resultCache memoizes simulation runs: every run is deterministic, and the
-// figures and the §5.2 summary reuse each other's cells.
-var resultCache sync.Map // "machine|workload" -> *core.Result
+// figures and the §5.2 summary reuse each other's cells. Each key holds a
+// cacheEntry whose sync.Once admits exactly one simulation per cell:
+// concurrent misses on the same key block on the winner's run instead of
+// duplicating it (a Load-compute-Store cache would let every racing caller
+// simulate the cell).
+var resultCache sync.Map // "machine|workload" -> *cacheEntry
+
+type cacheEntry struct {
+	once sync.Once
+	r    *core.Result
+	err  error
+}
+
+// coreRuns counts actual simulations (cache fills), observable by tests to
+// prove concurrent misses coalesce into one run.
+var coreRuns atomic.Int64
 
 // runOne simulates one (machine, workload) cell, memoized.
 func runOne(cfg machine.Config, w *workload.Workload) (*core.Result, error) {
 	key := cfg.Name + "|" + w.Name
-	if r, ok := resultCache.Load(key); ok {
-		return r.(*core.Result), nil
-	}
-	trace, err := w.Trace()
-	if err != nil {
-		return nil, err
-	}
-	r, err := core.Run(cfg, w.Name, trace)
-	if err != nil {
-		return nil, fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
-	}
-	resultCache.Store(key, r)
-	return r, nil
+	e, _ := resultCache.LoadOrStore(key, &cacheEntry{})
+	entry := e.(*cacheEntry)
+	entry.once.Do(func() {
+		coreRuns.Add(1)
+		trace, err := w.Trace()
+		if err != nil {
+			entry.err = err
+			return
+		}
+		r, err := core.Run(cfg, w.Name, trace)
+		if err != nil {
+			entry.err = fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
+			return
+		}
+		entry.r = r
+	})
+	return entry.r, entry.err
 }
 
 // runMatrix simulates every (config, workload) pair in parallel and returns

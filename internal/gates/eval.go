@@ -1,0 +1,74 @@
+package gates
+
+// Word-level evaluation helpers for the adder netlists, used by the
+// differential verification suite to compare gate-level circuits against
+// internal/rb's word arithmetic and native integers without hand-packing
+// input assignments.
+
+// bitsInto appends the low n bits of v to dst, least significant first (the
+// order InputWord creates inputs in).
+func bitsInto(dst []bool, v uint64, n int) []bool {
+	for i := 0; i < n; i++ {
+		dst = append(dst, v>>uint(i)&1 != 0)
+	}
+	return dst
+}
+
+// wordValue packs a little-endian bit slice into a uint64.
+func wordValue(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// EvalWords evaluates the adder on the low len(A) bits of a and b, returning
+// the sum word and carry out.
+func (r *AdderResult) EvalWords(a, b uint64) (sum uint64, cout bool, err error) {
+	n := len(r.A)
+	in := bitsInto(bitsInto(make([]bool, 0, 2*n), a, n), b, n)
+	outs := make([]Node, 0, n+1)
+	outs = append(outs, r.Sum...)
+	outs = append(outs, r.Cout)
+	vals, err := r.C.Eval(in, outs)
+	if err != nil {
+		return 0, false, err
+	}
+	return wordValue(vals[:n]), vals[n], nil
+}
+
+// EvalDigits evaluates the redundant binary adder on two operands given as
+// (plus, minus) component vectors (low len(APlus) digits). It returns the
+// sum's component vectors and the carry-out digit's two encoding bits.
+func (r *RBAdderResult) EvalDigits(aPlus, aMinus, bPlus, bMinus uint64) (sumPlus, sumMinus uint64, coutPlus, coutMinus bool, err error) {
+	n := len(r.APlus)
+	in := make([]bool, 0, 4*n)
+	in = bitsInto(in, aPlus, n)
+	in = bitsInto(in, aMinus, n)
+	in = bitsInto(in, bPlus, n)
+	in = bitsInto(in, bMinus, n)
+	outs := make([]Node, 0, 2*n+2)
+	outs = append(outs, r.SumPlus...)
+	outs = append(outs, r.SumMinus...)
+	outs = append(outs, r.CoutPlus, r.CoutMinus)
+	vals, err := r.C.Eval(in, outs)
+	if err != nil {
+		return 0, 0, false, false, err
+	}
+	return wordValue(vals[:n]), wordValue(vals[n : 2*n]), vals[2*n], vals[2*n+1], nil
+}
+
+// EvalWords evaluates the converter on the low len(Plus) digits of an RB
+// operand's component vectors, returning the 2's-complement output word.
+func (r *ConverterResult) EvalWords(plus, minus uint64) (uint64, error) {
+	n := len(r.Plus)
+	in := bitsInto(bitsInto(make([]bool, 0, 2*n), plus, n), minus, n)
+	vals, err := r.C.Eval(in, r.Out)
+	if err != nil {
+		return 0, err
+	}
+	return wordValue(vals), nil
+}

@@ -1,0 +1,52 @@
+package rb
+
+import "math/rand"
+
+// The redundancy of the signed-digit representation means every value has
+// many encodings: adders and converters must be correct for all of them, not
+// just the image of the hardwired TC->RB conversion. RedundantForm samples
+// that representation class for differential verification.
+
+// RedundantForm returns a randomly chosen redundant representation of the
+// 2's-complement value v. Starting from the hardwired conversion, it applies
+// random value-preserving digit rewrites
+//
+//	(0,+1) <-> (+1,-1)   and   (0,-1) <-> (-1,+1)
+//
+// to adjacent digit pairs (both sides of each rewrite contribute ±2^i). The
+// result always satisfies Uint() == v but is generally neither the FromUint
+// image nor normalized — exactly the kind of operand an RB functional unit
+// receives from the bypass network mid-chain.
+func RedundantForm(v uint64, rnd *rand.Rand) Number {
+	n := FromUint(v)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < Width-1; i++ {
+			if rnd.Intn(2) == 0 {
+				continue
+			}
+			bit := uint64(1) << uint(i)
+			hiBit := bit << 1
+			lo := Digit(int8(n.plus>>uint(i)&1) - int8(n.minus>>uint(i)&1))
+			hi := Digit(int8(n.plus>>uint(i+1)&1) - int8(n.minus>>uint(i+1)&1))
+			switch {
+			case hi == 0 && lo == 1: // (0,+1) -> (+1,-1)
+				n.plus &^= bit
+				n.minus |= bit
+				n.plus |= hiBit
+			case hi == 1 && lo == -1: // (+1,-1) -> (0,+1)
+				n.minus &^= bit
+				n.plus |= bit
+				n.plus &^= hiBit
+			case hi == 0 && lo == -1: // (0,-1) -> (-1,+1)
+				n.minus &^= bit
+				n.plus |= bit
+				n.minus |= hiBit
+			case hi == -1 && lo == 1: // (-1,+1) -> (0,-1)
+				n.plus &^= bit
+				n.minus |= bit
+				n.minus &^= hiBit
+			}
+		}
+	}
+	return n
+}

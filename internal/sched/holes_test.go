@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/bypass"
+)
+
+// Table-driven coverage of the Figure-8(b) shift register under every
+// Figure-14 limited-bypass configuration: the seeded hole pattern must track
+// the closed-form schedule cycle for cycle, and the first wakeup it grants a
+// dependent must match the model's earliest available offset.
+var figure14Configs = []struct {
+	name  string
+	cfg   bypass.Config
+	first int64 // earliest dependent wakeup offset after production
+}{
+	{"No-1", bypass.Full().Without(1), 2},
+	{"No-2", bypass.Full().Without(2), 1},
+	{"No-3", bypass.Full().Without(3), 1},
+	{"No-1,2", bypass.Full().Without(1, 2), 3},
+	{"No-2,3", bypass.Full().Without(2, 3), 1},
+}
+
+func TestShiftTimerFigure14Holes(t *testing.T) {
+	for _, tc := range figure14Configs {
+		sched := bypass.FromConfig(tc.cfg, bypass.RFOffset)
+		for _, latency := range []int64{1, 2} {
+			timer := NewShiftTimer(sched, latency)
+			for cycle := int64(0); cycle < 12; cycle++ {
+				want := sched.AvailableAt(cycle - (latency - 1))
+				if got := timer.Output(); got != want {
+					t.Errorf("%s latency %d: cycle %d after grant: output %v, schedule says %v",
+						tc.name, latency, cycle, got, want)
+				}
+				timer.Tick()
+			}
+		}
+	}
+}
+
+// TestShiftTimerWakeupDelay checks the quantity Figure 14 charges for a
+// missing level: the first cycle the RESOURCE AVAILABLE line rises for a
+// single-cycle producer is exactly the schedule's earliest available offset,
+// and the line is never high during a hole.
+func TestShiftTimerWakeupDelay(t *testing.T) {
+	for _, tc := range figure14Configs {
+		sched := bypass.FromConfig(tc.cfg, bypass.RFOffset)
+		timer := NewShiftTimer(sched, 1)
+		firstUp := int64(-1)
+		for cycle := int64(0); cycle < 12; cycle++ {
+			if timer.Output() {
+				if firstUp < 0 {
+					firstUp = cycle
+				}
+				if !sched.AvailableAt(cycle) {
+					t.Errorf("%s: RESOURCE AVAILABLE high at offset %d, a hole", tc.name, cycle)
+				}
+			}
+			timer.Tick()
+		}
+		if firstUp != tc.first {
+			t.Errorf("%s: first wakeup at offset %d, model predicts %d", tc.name, firstUp, tc.first)
+		}
+	}
+}

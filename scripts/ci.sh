@@ -1,0 +1,14 @@
+#!/bin/sh
+# Tier-1 gate: static checks, the full test suite under the race detector,
+# and the quick tier of the differential verification suite (lockstep
+# oracle, machine invariants, adder and converter equivalence).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+# Race instrumentation slows the experiment-matrix tests well past the
+# default 10m package timeout; they pass with room to spare given 40m.
+go test -race -timeout 40m ./...
+go run ./cmd/rbcheck -quick
