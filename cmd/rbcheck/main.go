@@ -1,6 +1,7 @@
 // Command rbcheck runs the differential verification suite: lockstep oracle
-// replays, cross-machine invariants, cross-layer adder equivalence, and
-// RB->TC converter equivalence (see internal/check).
+// replays, cross-machine invariants, cross-layer adder equivalence, RB->TC
+// converter equivalence, and the per-opcode equivalence tables (see
+// internal/check).
 //
 // Usage:
 //

@@ -1,0 +1,132 @@
+// Command rblint is the project's custom static-analysis pass. It enforces
+// the invariants the simulator's correctness argument rests on but that go
+// vet cannot see, in two layers:
+//
+// Source analyzers (internal/lint) over the given packages:
+//
+//   - rbconstruct: rb.Number may only be built through its constructors, so
+//     the disjoint (plus, minus) digit invariant (paper §3.2) is enforced at
+//     every construction site.
+//   - determinism: simulator packages may not read the wall clock, use the
+//     global math/rand state, or feed map-iteration order into reports.
+//   - opcoverage: every ISA opcode must be handled by the functional
+//     emulator's dispatch and by the differential-check equivalence tables.
+//
+// Netlist analyzers (internal/gates) over the built adder circuits:
+// structural lint (cycles, dangling inputs, unused gates) and the static
+// depth-budget report asserting the paper's delay asymptotics — constant RB
+// adder depth across widths, Θ(log n) converter/Kogge-Stone, Θ(n) ripple.
+//
+// Usage:
+//
+//	rblint [-json] [packages...]
+//
+// Package patterns follow the usual shapes ("./...", "./internal/rb", a
+// directory); the default is ./... from the module root. A finding on a line
+// marked //rblint:allow <rule> is suppressed. The exit status is 0 iff no
+// findings and every depth budget holds, so the tier-1 CI gate can run it
+// directly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gates"
+	"repro/internal/lint"
+)
+
+// report is the -json output shape.
+type report struct {
+	Passed      bool               `json:"passed"`
+	Diagnostics []lint.Diagnostic  `json:"diagnostics"`
+	LoadErrors  []string           `json:"load_errors,omitempty"`
+	Netlist     *gates.DepthReport `json:"netlist"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
+	flag.Parse()
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, module, err := lint.FindModule(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader := lint.NewLoader(root, module)
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := loader.LoadAll(paths)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := report{
+		Diagnostics: lint.Apply(prog, lint.Analyzers()),
+		Netlist:     gates.CheckDepthBudgets(),
+	}
+	// A package that fails to type-check can hide findings; surface it as a
+	// failure rather than silently analyzing less.
+	for _, pkg := range prog.Pkgs {
+		if pkg.TypeError != nil {
+			rep.LoadErrors = append(rep.LoadErrors, fmt.Sprintf("%s: %v", pkg.Path, pkg.TypeError))
+		}
+	}
+	rep.Passed = len(rep.Diagnostics) == 0 && len(rep.LoadErrors) == 0 && rep.Netlist.Passed()
+	if rep.Diagnostics == nil {
+		rep.Diagnostics = []lint.Diagnostic{}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, e := range rep.LoadErrors {
+			fmt.Fprintln(os.Stderr, "rblint: load:", e)
+		}
+		for _, d := range rep.Diagnostics {
+			fmt.Println(d)
+		}
+		printNetlist(rep.Netlist)
+		if rep.Passed {
+			fmt.Printf("rblint: %d packages, %d netlists: clean\n",
+				len(prog.Pkgs), len(rep.Netlist.Entries))
+		}
+	}
+	if !rep.Passed {
+		os.Exit(1)
+	}
+}
+
+// printNetlist renders netlist findings and the depth table (findings and
+// violations only in the default mode; the full table lives in -json).
+func printNetlist(r *gates.DepthReport) {
+	for _, e := range r.Entries {
+		for _, i := range e.Issues {
+			fmt.Printf("netlist %s width %d: %s\n", e.Circuit, e.Width, i)
+		}
+	}
+	for _, v := range r.Violations {
+		fmt.Println("depth-budget:", v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rblint:", err)
+	os.Exit(2)
+}

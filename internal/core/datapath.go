@@ -178,6 +178,13 @@ func (s *Simulator) datapathCheck(idx int) {
 	}
 
 	if computed {
+		// A result with overlapping indicator bits means the RB arithmetic
+		// itself broke the §3.2 encoding; catch it before it enters the
+		// register file, where it would corrupt every downstream read.
+		if err := result.Validate(); err != nil {
+			panic(fmt.Sprintf("core: datapath produced non-canonical result at trace %d (%v): %v",
+				idx, in, err))
+		}
 		if te.HasResult && result.Uint() != te.Result {
 			panic(s.dpError(idx, result.Uint(), te.Result))
 		}

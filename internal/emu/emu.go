@@ -128,7 +128,7 @@ func (e *Emulator) Step() (TraceEntry, error) {
 		t.Taken = true
 		writeDest(in.Ra, uint64(e.PC+1))
 		t.NextPC = e.PC + 1 + int(in.Imm)
-	case c.IsIndirect:
+	case in.Op == isa.JMP, in.Op == isa.JSR, in.Op == isa.RET:
 		t.Taken = true
 		target := int(rb)
 		writeDest(in.Ra, uint64(e.PC+1))

@@ -88,9 +88,11 @@ func Figure1() (*Figure1Data, error) {
 		d.Order[2]: stagRatio,
 		d.Order[3]: ratio,
 	}
+	// Iterate d.Order, not the map: map order is randomized per run and
+	// runMatrix simulates in list order.
 	var list []machine.Config
-	for _, c := range cfgs {
-		list = append(list, c)
+	for _, name := range d.Order {
+		list = append(list, cfgs[name])
 	}
 	results, err := runMatrix(list, wls)
 	if err != nil {

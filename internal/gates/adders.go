@@ -38,18 +38,7 @@ func KoggeStoneAdder(n int) *AdderResult {
 		g[i] = c.And(a[i], b[i])
 		p[i] = c.Xor(a[i], b[i])
 	}
-	// Prefix tree over (g, p); pg holds group-propagate (AND of p's).
-	gg := append(Word(nil), g...)
-	pg := append(Word(nil), p...)
-	for dist := 1; dist < n; dist <<= 1 {
-		ng := append(Word(nil), gg...)
-		np := append(Word(nil), pg...)
-		for i := dist; i < n; i++ {
-			ng[i] = c.Or(gg[i], c.And(pg[i], gg[i-dist]))
-			np[i] = c.And(pg[i], pg[i-dist])
-		}
-		gg, pg = ng, np
-	}
+	gg := c.koggeStonePrefix(g, p, nil)
 	// carry into bit i = group generate of bits [0, i-1].
 	sum := make(Word, n)
 	sum[0] = p[0]
@@ -57,6 +46,100 @@ func KoggeStoneAdder(n int) *AdderResult {
 		sum[i] = c.Xor(p[i], gg[i-1])
 	}
 	return &AdderResult{C: c, A: a, B: b, Sum: sum, Cout: gg[n-1]}
+}
+
+// koggeStonePrefix runs the Kogge-Stone parallel-prefix combine over
+// (generate, propagate) pairs and returns the group-generate word: result[i]
+// is "bits [0, i] generate a carry". need selects which result indexes the
+// caller will consume (nil = all of them).
+//
+// A naive build emits dead logic — the last level's group-propagate gates
+// feed nothing, unneeded results orphan their feeders, and constant inputs
+// fold combines away from under the gates built for them. Rather than
+// reasoning about folding symbolically, the combine is dry-run in a scratch
+// circuit first, liveness is computed there from the needed results, and
+// only live combines are emitted into the real netlist. Circuit.Lint
+// verifies the outcome stays free of unused gates.
+func (c *Circuit) koggeStonePrefix(g, p Word, need []bool) Word {
+	n := len(g)
+
+	// Pass 1: dry-run in a scratch circuit mirroring operand const-ness,
+	// recording the scratch node each combine produced.
+	s := New()
+	mirror := func(w Word) Word {
+		m := make(Word, n)
+		for i, nd := range w {
+			if c.ops[nd] == OpConst {
+				m[i] = s.Const(c.val[nd])
+			} else {
+				m[i] = s.Input()
+			}
+		}
+		return m
+	}
+	sgg, spg := mirror(g), mirror(p)
+	var resG, resP [][]Node
+	for d := 1; d < n; d <<= 1 {
+		ng := append(Word(nil), sgg...)
+		np := append(Word(nil), spg...)
+		rg := make([]Node, n)
+		rp := make([]Node, n)
+		for i := d; i < n; i++ {
+			ng[i] = s.Or(sgg[i], s.And(spg[i], sgg[i-d]))
+			np[i] = s.And(spg[i], spg[i-d])
+			rg[i], rp[i] = ng[i], np[i]
+		}
+		resG = append(resG, rg)
+		resP = append(resP, rp)
+		sgg, spg = ng, np
+	}
+	live := make([]bool, len(s.ops))
+	var stack []Node
+	mark := func(nd Node) {
+		if !live[nd] {
+			live[nd] = true
+			stack = append(stack, nd)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if need == nil || need[i] {
+			mark(sgg[i])
+		}
+	}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		switch s.ops[nd] {
+		case OpInput, OpConst:
+		case OpNot:
+			mark(s.a[nd])
+		default:
+			mark(s.a[nd])
+			mark(s.b[nd])
+		}
+	}
+
+	// Pass 2: emit only the combines whose scratch result is live. Skipped
+	// slots keep stale values, but liveness guarantees nothing live reads
+	// them.
+	gg := append(Word(nil), g...)
+	pg := append(Word(nil), p...)
+	l := 0
+	for d := 1; d < n; d <<= 1 {
+		ng := append(Word(nil), gg...)
+		np := append(Word(nil), pg...)
+		for i := d; i < n; i++ {
+			if live[resG[l][i]] {
+				ng[i] = c.Or(gg[i], c.And(pg[i], gg[i-d]))
+			}
+			if live[resP[l][i]] {
+				np[i] = c.And(pg[i], pg[i-d])
+			}
+		}
+		gg, pg = ng, np
+		l++
+	}
+	return gg
 }
 
 // RBAdderResult is the gate-level redundant binary adder's interface: each
@@ -87,7 +170,6 @@ func RBAdder(n int) *RBAdderResult {
 	bp := c.InputWord(n)
 	bm := c.InputWord(n)
 
-	f := c.Const(false)
 	t := c.Const(true)
 
 	// Per-digit class signals.
@@ -113,13 +195,14 @@ func RBAdder(n int) *RBAdderResult {
 		interM[i] = c.And(oneMag, pPrev)
 	}
 	// Final digit: interim(i) + carry(i-1); by construction never +-2.
+	// Digit 0 has no carry-in, so its sum digit IS its interim digit —
+	// wiring it directly avoids dead logic that constant-folding the
+	// zero carry would leave in the netlist.
 	sp := make(Word, n)
 	sm := make(Word, n)
-	for i := 0; i < n; i++ {
-		cinP, cinM := f, f
-		if i > 0 {
-			cinP, cinM = carryP[i-1], carryM[i-1]
-		}
+	sp[0], sm[0] = interP[0], interM[0]
+	for i := 1; i < n; i++ {
+		cinP, cinM := carryP[i-1], carryM[i-1]
 		sp[i] = c.And(c.Xor(interP[i], cinP), c.Not(c.Or(interM[i], cinM)))
 		sm[i] = c.And(c.Xor(interM[i], cinM), c.Not(c.Or(interP[i], cinP)))
 	}
@@ -152,27 +235,33 @@ func RBToTCConverter(n int) *ConverterResult {
 	p := make(Word, n)
 	for i := 0; i < n; i++ {
 		nb := c.Not(minus[i])
-		g[i] = c.And(plus[i], nb)
 		p[i] = c.Xor(plus[i], nb)
+		if i < n-1 {
+			g[i] = c.And(plus[i], nb)
+		} else {
+			// The top bit's carry out is discarded, so its generate
+			// signal is never consumed; a constant placeholder keeps the
+			// netlist free of dead gates.
+			g[i] = c.Const(false)
+		}
 	}
 	// Incoming carry of 1: treat as g[-1] = 1 by rewriting bit 0:
 	// carry out of bit 0 = g0 | p0 (since cin = 1); sum0 = p0 ^ 1.
 	sum := make(Word, n)
 	sum[0] = c.Not(p[0])
-	g0 := c.Or(g[0], p[0])
-	gg := append(Word(nil), g...)
-	gg[0] = g0
-	pg := append(Word(nil), p...)
-	pg[0] = c.Const(false)
-	for dist := 1; dist < n; dist <<= 1 {
-		ng := append(Word(nil), gg...)
-		np := append(Word(nil), pg...)
-		for i := dist; i < n; i++ {
-			ng[i] = c.Or(gg[i], c.And(pg[i], gg[i-dist]))
-			np[i] = c.And(pg[i], pg[i-dist])
-		}
-		gg, pg = ng, np
+	g2 := append(Word(nil), g...)
+	if n > 1 {
+		g2[0] = c.Or(g[0], p[0])
 	}
+	p2 := append(Word(nil), p...)
+	p2[0] = c.Const(false)
+	// The converter discards the carry out of the top bit, so the final
+	// group generate gg[n-1] is not needed.
+	need := make([]bool, n)
+	for i := 0; i < n-1; i++ {
+		need[i] = true
+	}
+	gg := c.koggeStonePrefix(g2, p2, need)
 	for i := 1; i < n; i++ {
 		sum[i] = c.Xor(p[i], gg[i-1])
 	}

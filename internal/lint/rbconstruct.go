@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// rbPkgPath is the package whose number type carries the disjoint-digit
+// invariant (paper §3.2: a digit's plus and minus indicator bits are never
+// both set).
+const rbPkgPath = "repro/internal/rb"
+
+const rbConstructRule = "rbconstruct"
+
+// RBConstruct forbids composite-literal construction of rb.Number outside
+// internal/rb. The (plus, minus) component vectors of a redundant binary
+// number must stay disjoint; rb.FromInt, rb.FromUint, rb.FromBits and
+// rb.ParseDigits enforce that, while a raw literal (even the zero literal,
+// which today happens to be valid) bypasses the constructors and would
+// silently admit conflicting digits the moment the struct grows fields.
+// Within internal/rb the representation is, by definition, the package's
+// business.
+var RBConstruct = &Analyzer{
+	Name: rbConstructRule,
+	Doc:  "forbid raw construction of rb.Number outside internal/rb; use the constructors",
+	Run:  runRBConstruct,
+}
+
+func runRBConstruct(pkg *Package) []Diagnostic {
+	if pkg.Path == rbPkgPath {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if isRBNumber(pkg.TypesInfo.TypeOf(lit)) {
+				out = append(out, pkg.diag(lit.Pos(), rbConstructRule,
+					"rb.Number constructed by composite literal; use rb.FromInt/FromUint/FromBits so the disjoint-digit invariant is enforced"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isRBNumber reports whether t is internal/rb's Number type (through aliases
+// and pointers).
+func isRBNumber(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Number" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == rbPkgPath
+}

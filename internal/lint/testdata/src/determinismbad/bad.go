@@ -1,0 +1,43 @@
+// This fixture declares package core so the determinism rule's
+// simulator-package scope applies; every marked line must be flagged.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	start := time.Now()
+	return time.Since(start).Nanoseconds()
+}
+
+func globalRand() int {
+	rand.Seed(42)
+	return rand.Intn(100)
+}
+
+func mapPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func mapJSON(m map[string]int) [][]byte {
+	var blobs [][]byte
+	for k := range m {
+		b, _ := json.Marshal(k)
+		blobs = append(blobs, b)
+	}
+	return blobs
+}
+
+func mapEscapingAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

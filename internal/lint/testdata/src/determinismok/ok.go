@@ -1,0 +1,45 @@
+// This fixture declares package core so the determinism rule's
+// simulator-package scope applies; nothing here may be flagged.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// An explicitly seeded generator is the sanctioned source of randomness.
+func seededRand() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(100)
+}
+
+// Iterating sorted keys is the sanctioned way to order map contents.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// A map range whose body only accumulates unordered state is fine.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Deliberate wall-clock use, suppressed by a trailing directive.
+func allowedTrailing() time.Time {
+	return time.Now() //rblint:allow determinism
+}
+
+// Deliberate wall-clock use, suppressed by a standalone directive.
+func allowedStandalone() time.Time {
+	//rblint:allow determinism
+	return time.Now()
+}

@@ -1,0 +1,7 @@
+// Package tools is outside the determinism rule's simulator-package scope;
+// wall-clock use here must not be flagged.
+package tools
+
+import "time"
+
+func now() time.Time { return time.Now() }

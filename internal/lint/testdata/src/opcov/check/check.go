@@ -1,0 +1,10 @@
+// Package check is a miniature equivalence-table fixture: it covers only
+// ADD, so the opcoverage rule must report SUB and JMP.
+package check
+
+import "repro/internal/lint/testdata/src/opcov/isa"
+
+// Table pairs opcodes with golden semantics.
+var Table = map[isa.Op]func(a, b uint64) uint64{
+	isa.ADD: func(a, b uint64) uint64 { return a + b },
+}

@@ -1,0 +1,16 @@
+// Package emu is a miniature emulator fixture: it dispatches ADD and SUB
+// but not JMP, which the opcoverage rule must report.
+package emu
+
+import "repro/internal/lint/testdata/src/opcov/isa"
+
+// Exec dispatches one opcode.
+func Exec(op isa.Op, a, b uint64) uint64 {
+	switch op {
+	case isa.ADD:
+		return a + b
+	case isa.SUB:
+		return a - b
+	}
+	return 0
+}

@@ -1,0 +1,16 @@
+// Package isa is a miniature ISA fixture for the opcoverage rule.
+package isa
+
+// Op is an operation code.
+type Op uint8
+
+// Opcodes. OpInvalid is the zero value and is exempt from coverage.
+const (
+	OpInvalid Op = iota
+	ADD
+	SUB
+	JMP
+)
+
+// NumOps is not an Op constant and must not be treated as an opcode.
+const NumOps = 4

@@ -1,0 +1,10 @@
+// Package check covers every opcode of its isa fixture.
+package check
+
+import "repro/internal/lint/testdata/src/opcovok/isa"
+
+// Table pairs opcodes with golden semantics.
+var Table = map[isa.Op]func(a, b uint64) uint64{
+	isa.ADD: func(a, b uint64) uint64 { return a + b },
+	isa.SUB: func(a, b uint64) uint64 { return a - b },
+}

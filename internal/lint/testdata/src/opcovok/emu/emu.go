@@ -1,0 +1,15 @@
+// Package emu dispatches every opcode of its isa fixture.
+package emu
+
+import "repro/internal/lint/testdata/src/opcovok/isa"
+
+// Exec dispatches one opcode.
+func Exec(op isa.Op, a, b uint64) uint64 {
+	switch op {
+	case isa.ADD:
+		return a + b
+	case isa.SUB:
+		return a - b
+	}
+	return 0
+}

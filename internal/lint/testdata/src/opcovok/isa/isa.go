@@ -1,0 +1,12 @@
+// Package isa is the fully covered counterpart of the opcov fixture.
+package isa
+
+// Op is an operation code.
+type Op uint8
+
+// Opcodes. OpInvalid is the zero value and is exempt from coverage.
+const (
+	OpInvalid Op = iota
+	ADD
+	SUB
+)

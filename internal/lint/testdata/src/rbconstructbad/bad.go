@@ -1,0 +1,17 @@
+// Package rbconstructbad is an rblint fixture: every rb.Number composite
+// literal below must be flagged by the rbconstruct rule.
+package rbconstructbad
+
+import "repro/internal/rb"
+
+var zero = rb.Number{}
+
+var ptr = &rb.Number{}
+
+func pair() []rb.Number {
+	return []rb.Number{{}, {}}
+}
+
+func inStruct() struct{ N rb.Number } {
+	return struct{ N rb.Number }{N: rb.Number{}}
+}

@@ -1,0 +1,22 @@
+// Package rbconstructok is an rblint fixture: constructor-based and
+// explicitly allowlisted rb.Number construction, none of which may be
+// flagged by the rbconstruct rule.
+package rbconstructok
+
+import "repro/internal/rb"
+
+var viaInt = rb.FromInt(-7)
+
+var viaUint = rb.FromUint(0xFFFF)
+
+func viaBits() (rb.Number, error) {
+	return rb.FromBits(0b0101, 0b1010)
+}
+
+var allowedTrailing = rb.Number{} //rblint:allow rbconstruct
+
+//rblint:allow rbconstruct
+var allowedStandalone = rb.Number{}
+
+// A value copied around is not a construction site.
+func passthrough(n rb.Number) rb.Number { return n }

@@ -80,6 +80,18 @@ func (n Number) Digit(i int) Digit {
 // canonical; FromBits enforces it for externally supplied vectors.
 func (n Number) Canonical() bool { return n.plus&n.minus == 0 }
 
+// Validate returns a descriptive error if the digit encoding invariant does
+// not hold. It is the checkable form of Canonical, for datapath code that
+// wants to fail loudly at the point a non-canonical value would enter
+// architectural state rather than later, when the corrupt digits are read.
+func (n Number) Validate() error {
+	if n.plus&n.minus != 0 {
+		return fmt.Errorf("rb: non-canonical number: plus=%#x minus=%#x share bits %#x",
+			n.plus, n.minus, n.plus&n.minus)
+	}
+	return nil
+}
+
 // IsZero reports whether the number is exactly zero. Because the component
 // vectors are disjoint, a number is zero if and only if every digit is zero,
 // which hardware detects with a wide OR (paper §3.6, "Conditional

@@ -7,6 +7,7 @@ set -eux
 cd "$(dirname "$0")/.."
 
 go vet ./...
+go run ./cmd/rblint ./...
 go build ./...
 # Race instrumentation slows the experiment-matrix tests well past the
 # default 10m package timeout; they pass with room to spare given 40m.
