@@ -18,7 +18,9 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/prof"
 )
 
 type artifact struct {
@@ -89,7 +91,24 @@ var artifacts = []artifact{
 
 func main() {
 	exp := flag.String("exp", "all", "artifact to regenerate (all, or one of: fig1 table1 table2 table3 fig9 fig10 fig11 fig12 fig13 fig14 sweeps summary)")
+	schedName := flag.String("sched", "event", "scheduler backend: event (calendar-queue wakeup) or poll (per-cycle rescan oracle)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	backend, err := core.ParseBackend(*schedName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rbexp: %v\n", err)
+		os.Exit(2)
+	}
+	core.SetDefaultBackend(backend)
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *traceFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rbexp: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	run := func(a artifact) {
 		if err := a.run(os.Stdout); err != nil {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/pipeview"
+	"repro/internal/prof"
 	"repro/internal/tracefile"
 	"repro/internal/workload"
 )
@@ -42,7 +43,24 @@ func main() {
 	fromTrace := flag.String("from-trace", "", "simulate a trace previously written with -save-trace instead of tracing the workload")
 	noLevels := flag.String("no-bypass-levels", "", "comma-separated bypass levels to remove (baseline/ideal machines)")
 	list := flag.Bool("list", false, "list available workloads and exit")
+	schedName := flag.String("sched", "event", "scheduler backend: event (calendar-queue wakeup) or poll (per-cycle rescan oracle)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	backend, err := core.ParseBackend(*schedName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rbsim: %v\n", err)
+		os.Exit(2)
+	}
+	core.SetDefaultBackend(backend)
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *traceFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rbsim: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, w := range workload.All() {

@@ -1,0 +1,173 @@
+package check
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// The backends layer: the lockstep poll-vs-event scheduler gate. The
+// event-driven backend (calendar-queue wakeup, dead-cycle skipping,
+// slab-allocated window) is a pure performance transformation of the
+// poll-based oracle; this layer proves it by requiring bit-identical
+// core.Result values — cycles, occupancy, every bypass-case counter, cache
+// statistics, the lot — for every (machine × workload) cell of the
+// experiment matrix, plus per-instruction stage timelines and a wrong-path
+// (squash-under-issue) cell.
+
+// backendWorkloads selects the matrix rows per tier.
+func backendWorkloads(opts Options) []*workload.Workload {
+	if opts.Full {
+		return workload.All()
+	}
+	var out []*workload.Workload
+	for _, name := range []string{"compress", "li", "mcf"} {
+		if w, ok := workload.ByName(name); ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Backends runs the poll-vs-event equivalence layer.
+func Backends(opts Options) []Report {
+	var out []Report
+	widths := []int{8}
+	if opts.Full {
+		widths = []int{8, 4}
+	}
+	for _, w := range backendWorkloads(opts) {
+		for _, width := range widths {
+			w, width := w, width
+			out = append(out, run("backends", fmt.Sprintf("poll-vs-event/%s/width-%d", w.Name, width),
+				func() (int64, string, error) {
+					return backendMatrixCell(w, width)
+				}))
+		}
+	}
+	out = append(out, run("backends", "poll-vs-event/stages", func() (int64, string, error) {
+		return backendStages(opts)
+	}))
+	out = append(out, run("backends", "poll-vs-event/wrong-path", func() (int64, string, error) {
+		return backendWrongPath(opts)
+	}))
+	return out
+}
+
+// backendMatrixCell runs every machine model of one matrix cell under both
+// backends and requires bit-identical results.
+func backendMatrixCell(w *workload.Workload, width int) (int64, string, error) {
+	trace, err := w.Trace()
+	if err != nil {
+		return 0, "", err
+	}
+	var trials int64
+	for _, cfg := range machine.All(width) {
+		rEvent, err := core.RunBackend(cfg, w.Name, trace, core.BackendEvent)
+		if err != nil {
+			return trials, "", fmt.Errorf("%s event: %w", cfg.Name, err)
+		}
+		rPoll, err := core.RunBackend(cfg, w.Name, trace, core.BackendPoll)
+		if err != nil {
+			return trials, "", fmt.Errorf("%s poll: %w", cfg.Name, err)
+		}
+		if err := diffResults(cfg.Name, rEvent, rPoll); err != nil {
+			return trials, "", err
+		}
+		trials++
+	}
+	return trials, fmt.Sprintf("%d machines bit-identical over %d instructions", trials, len(trace)), nil
+}
+
+// backendStages compares the full per-instruction pipeline timelines (fetch,
+// dispatch, issue, done, retire) between the backends on one cell:
+// bit-identical aggregate results could in principle hide compensating
+// per-instruction differences, so this pins the timelines themselves.
+func backendStages(opts Options) (int64, string, error) {
+	w, ok := workload.ByName("compress")
+	if !ok {
+		return 0, "", fmt.Errorf("workload compress missing")
+	}
+	trace, err := w.Trace()
+	if err != nil {
+		return 0, "", err
+	}
+	cfg := machine.NewRBLimited(8) // holes + clustering: the hardest schedule
+	rEvent, stEvent, err := core.RunWithStagesBackend(cfg, w.Name, trace, core.BackendEvent)
+	if err != nil {
+		return 0, "", fmt.Errorf("event: %w", err)
+	}
+	rPoll, stPoll, err := core.RunWithStagesBackend(cfg, w.Name, trace, core.BackendPoll)
+	if err != nil {
+		return 0, "", fmt.Errorf("poll: %w", err)
+	}
+	if err := diffResults(cfg.Name, rEvent, rPoll); err != nil {
+		return 0, "", err
+	}
+	for i := range stEvent {
+		if stEvent[i] != stPoll[i] {
+			return int64(i), "", fmt.Errorf("stage timeline diverges at instruction %d: event %+v, poll %+v",
+				i, stEvent[i], stPoll[i])
+		}
+	}
+	return int64(len(stEvent)), fmt.Sprintf("%d per-instruction timelines identical", len(stEvent)), nil
+}
+
+// backendWrongPath covers the squash interaction: wrong-path modeling keeps
+// the schedulers full of speculative entries that are squashed mid-issue
+// when the mispredicted branch resolves — the stress case for the shared
+// ready/resident list bookkeeping.
+func backendWrongPath(opts Options) (int64, string, error) {
+	w, ok := workload.ByName("mcf")
+	if !ok {
+		return 0, "", fmt.Errorf("workload mcf missing")
+	}
+	prog, err := w.Program()
+	if err != nil {
+		return 0, "", err
+	}
+	trace, err := w.Trace()
+	if err != nil {
+		return 0, "", err
+	}
+	var trials int64
+	for _, cfg := range []machine.Config{machine.NewRBFull(8), machine.NewBaseline(4)} {
+		cfg.ModelWrongPath = true
+		cfg.Name += "-wp"
+		rEvent, err := core.RunProgramBackend(cfg, w.Name, prog, trace, core.BackendEvent)
+		if err != nil {
+			return trials, "", fmt.Errorf("%s event: %w", cfg.Name, err)
+		}
+		rPoll, err := core.RunProgramBackend(cfg, w.Name, prog, trace, core.BackendPoll)
+		if err != nil {
+			return trials, "", fmt.Errorf("%s poll: %w", cfg.Name, err)
+		}
+		if err := diffResults(cfg.Name, rEvent, rPoll); err != nil {
+			return trials, "", err
+		}
+		if rEvent.WrongPathIssued == 0 {
+			return trials, "", fmt.Errorf("%s: no wrong-path work issued; cell exercises nothing", cfg.Name)
+		}
+		trials++
+	}
+	return trials, "wrong-path squash cells bit-identical", nil
+}
+
+// diffResults requires two results to be bit-identical, naming the first
+// diverging field for diagnosis.
+func diffResults(name string, a, b *core.Result) error {
+	if reflect.DeepEqual(a, b) {
+		return nil
+	}
+	va, vb := reflect.ValueOf(*a), reflect.ValueOf(*b)
+	for i := 0; i < va.NumField(); i++ {
+		if !reflect.DeepEqual(va.Field(i).Interface(), vb.Field(i).Interface()) {
+			return fmt.Errorf("%s: backends diverge at %s: event %v, poll %v",
+				name, va.Type().Field(i).Name, va.Field(i).Interface(), vb.Field(i).Interface())
+		}
+	}
+	return fmt.Errorf("%s: backends diverge", name)
+}

@@ -5,7 +5,7 @@
 // The paper's argument rests on the claim that the RB machines are
 // *architecturally identical* to the Baseline — only timing differs. This
 // package makes that claim (and the arithmetic it depends on) continuously
-// checkable, in five layers:
+// checkable, in six layers:
 //
 //	oracle     — lockstep replay: every instruction the timing core commits
 //	             is re-executed on an independent functional reference and
@@ -16,6 +16,11 @@
 //	             Ideal) run the same workload, must commit identical
 //	             instruction streams, and must obey the expected IPC partial
 //	             order (Ideal >= RB-full, Ideal >= Baseline).
+//	backends   — the lockstep poll-vs-event scheduler gate: the event-driven
+//	             calendar-queue backend must produce bit-identical
+//	             core.Result values (and per-instruction stage timelines)
+//	             to the poll-based oracle across the experiment matrix,
+//	             including wrong-path squash cells.
 //	adders     — cross-layer adder equivalence: gate netlists == internal/rb
 //	             word-level ops == native int64 arithmetic, exhaustive at
 //	             small widths and randomized plus boundary-pattern driven at
@@ -135,11 +140,12 @@ func run(layer, name string, body func() (trials int64, detail string, err error
 	return r
 }
 
-// Run executes the whole suite — all five layers — and returns every report.
+// Run executes the whole suite — all six layers — and returns every report.
 func Run(opts Options) []Report {
 	var out []Report
 	out = append(out, Oracle(opts)...)
 	out = append(out, Invariants(opts)...)
+	out = append(out, Backends(opts)...)
 	out = append(out, Adders(opts)...)
 	out = append(out, Converter(opts)...)
 	out = append(out, Ops(opts)...)

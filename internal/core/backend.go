@@ -8,6 +8,15 @@ import (
 // The back end: wakeup (operand availability per the bypass schedules),
 // select-2 issue, execution with Table 3 latencies and the cache hierarchy,
 // bypass-case accounting, and in-order retirement.
+//
+// Two interchangeable wakeup/select implementations exist. issuePoll is the
+// direct transcription of the hardware: every resident entry re-evaluates
+// ready() every cycle. issueEvent is the optimized form: a granted
+// producer's availability schedule is solved in closed form and each
+// dependent receives a single calendar wakeup at the exact cycle it first
+// becomes issueable; ready lists then hold precisely the issueable entries.
+// internal/check's "backends" layer proves the two produce bit-identical
+// results over the experiment matrix.
 
 // ready reports whether every source of u is obtainable for an EXE starting
 // this cycle, per the availability schedules and cluster delays.
@@ -44,27 +53,213 @@ func (s *Simulator) ready(u *uop, cycle int64) bool {
 	return true
 }
 
-// issue performs wakeup and select for every scheduler, then executes the
-// granted instructions.
-func (s *Simulator) issue(cycle int64) {
-	for si := range s.schedulers {
-		entries := s.schedulers[si]
-		granted := 0
-		kept := entries[:0]
-		for ei := range entries {
-			u := &entries[ei]
-			if granted < s.cfg.SelectWidth && s.ready(u, cycle) {
-				if u.wp {
-					s.executeWrongPath(u, cycle)
-				} else {
-					s.execute(u, cycle)
-				}
-				granted++
-				continue
-			}
-			kept = append(kept, *u)
+// earliestReadyFrom returns the first cycle >= from at which every issue
+// constraint of u is satisfied (the cycle ready() first reports true), or -1
+// if some source never becomes obtainable. Availability holes make readiness
+// non-monotonic, so this iterates to a fixed point: advancing past one
+// source's hole can land in another's.
+func (s *Simulator) earliestReadyFrom(u *uop, from int64) int64 {
+	c := from
+	if c < u.minExe {
+		c = u.minExe
+	}
+	if u.memDep >= 0 {
+		d := s.done[u.memDep]
+		if d < 0 {
+			return -1 // caller guarantees the store executed; defensive
 		}
-		s.schedulers[si] = kept
+		if c <= d {
+			c = d + 1
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := int8(0); i < u.nsrc; i++ {
+			p := &s.prod[u.src[i]]
+			if p.t < 0 {
+				return -1
+			}
+			delay := int64(0)
+			if p.cluster != u.cluster {
+				delay = s.cfg.InterClusterDelay
+			}
+			sched := &p.rbSched
+			if u.srcTC[i] {
+				sched = &p.tcSched
+			}
+			next := sched.NextAvailable(c - p.t - delay)
+			if next < 0 {
+				return -1
+			}
+			if t := p.t + delay + next; t > c {
+				c = t
+				changed = true
+			}
+		}
+	}
+	return c
+}
+
+// issuePoll performs wakeup and select for every scheduler by re-evaluating
+// every resident entry (the BackendPoll oracle), then executes the granted
+// instructions oldest-first up to the select width.
+func (s *Simulator) issuePoll(cycle int64) {
+	for si := range s.scheds {
+		granted := 0
+		id := s.scheds[si].head
+		for id != nilID && granted < s.cfg.SelectWidth {
+			u := &s.pool[id]
+			next := u.next
+			if s.ready(u, cycle) {
+				epoch := s.squashEpoch
+				s.grant(si, id, cycle)
+				granted++
+				if s.squashEpoch != epoch {
+					// The grant resolved a mispredicted branch and squashed
+					// wrong-path entries out of every list (possibly
+					// including the saved next pointer). Restart from the
+					// head: grants never make another entry ready within the
+					// same cycle, so the rescan selects the same entries.
+					next = s.scheds[si].head
+				}
+			}
+			id = next
+		}
+	}
+}
+
+// issueEvent performs wakeup and select from the calendar queue (the
+// BackendEvent hot path): due wakeups move entries onto their scheduler's
+// ready list, each scheduler grants from the ready-list head oldest-first,
+// and ungranted leftovers are re-validated against the next cycle (an entry
+// whose source availability falls into a hole leaves the ready list and
+// re-enters the calendar at its next obtainable cycle).
+func (s *Simulator) issueEvent(cycle int64) {
+	// Deliver this cycle's wakeups.
+	s.calBuf = s.cal.Pop(cycle, s.calBuf[:0])
+	for _, id := range s.calBuf {
+		u := &s.pool[id]
+		switch u.state {
+		case uopDead:
+			// Squashed while its wakeup was in flight; reclaim lazily.
+			s.freeUop(id)
+		case uopQueued:
+			u.state = uopReady
+			s.readyInsert(int(u.sched), id)
+		}
+	}
+	for si := range s.scheds {
+		granted := 0
+		for granted < s.cfg.SelectWidth {
+			// Re-read the head each iteration: a grant that resolves a
+			// mispredicted branch squashes wrong-path entries out of the
+			// ready lists.
+			id := s.scheds[si].rdyHead
+			if id == nilID {
+				break
+			}
+			s.readyRemove(si, id)
+			s.grant(si, id, cycle)
+			granted++
+		}
+		// Leftovers lost select arbitration. They are ready now, but
+		// readiness is not monotonic (availability holes): keep an entry
+		// ready only if it is still issueable next cycle, otherwise post its
+		// next obtainable cycle to the calendar.
+		id := s.scheds[si].rdyHead
+		for id != nilID {
+			u := &s.pool[id]
+			next := u.rdyNext
+			t := s.earliestReadyFrom(u, cycle+1)
+			if t != cycle+1 {
+				s.readyRemove(si, id)
+				if t < 0 {
+					// Never again obtainable: park it as a stuck waiter so
+					// the no-progress watchdog reports, as the poll backend
+					// would. (Unreachable for real machine configs — every
+					// schedule has a register-file tail.)
+					u.state = uopWaiting
+				} else {
+					u.state = uopQueued
+					s.cal.Post(t, id)
+				}
+			}
+			id = next
+		}
+	}
+}
+
+// grant removes the selected entry from its scheduler and executes it.
+func (s *Simulator) grant(si int, id int32, cycle int64) {
+	u := &s.pool[id]
+	s.residentRemove(si, id)
+	if u.wp {
+		s.executeWrongPath(u, cycle)
+	} else {
+		s.execute(u, cycle)
+	}
+	s.freeUop(id)
+}
+
+// eventArm registers a just-dispatched entry with the wakeup machinery
+// (BackendEvent): each unexecuted producer (and unexecuted older aliasing
+// store) gets a waiter-chain entry; an entry with no outstanding producers
+// goes straight to the calendar at its first issueable cycle.
+func (s *Simulator) eventArm(id int32, cycle int64) {
+	u := &s.pool[id]
+	u.pending = 0
+	for i := int8(0); i < u.nsrc; i++ {
+		pi := u.src[i]
+		if s.prod[pi].t < 0 {
+			u.waitNext[i] = s.waiterHead[pi]
+			s.waiterHead[pi] = id<<2 | int32(i)
+			u.pending++
+		}
+	}
+	if u.memDep >= 0 && s.done[u.memDep] < 0 {
+		u.waitNext[3] = s.waiterHead[u.memDep]
+		s.waiterHead[u.memDep] = id<<2 | 3
+		u.pending++
+	}
+	if u.pending == 0 {
+		s.postReady(id, cycle)
+	}
+}
+
+// postReady computes the entry's first issueable cycle and posts its wakeup.
+func (s *Simulator) postReady(id int32, cycle int64) {
+	u := &s.pool[id]
+	t := s.earliestReadyFrom(u, cycle+1)
+	if t < 0 {
+		// Never issueable: leave it waiting for the watchdog (poll would
+		// spin on it forever too).
+		u.state = uopWaiting
+		return
+	}
+	u.state = uopQueued
+	s.cal.Post(t, id)
+}
+
+// wakeDependents drains the waiter chain of a just-executed instruction:
+// each waiter's outstanding-producer count drops, and the last satisfied
+// dependence computes the waiter's exact wakeup cycle.
+func (s *Simulator) wakeDependents(pi int32, cycle int64) {
+	ref := s.waiterHead[pi]
+	if ref == nilID {
+		return
+	}
+	s.waiterHead[pi] = nilID
+	for ref != nilID {
+		id := ref >> 2
+		slot := ref & 3
+		u := &s.pool[id]
+		next := u.waitNext[slot]
+		u.waitNext[slot] = nilID
+		u.pending--
+		if u.pending == 0 {
+			s.postReady(id, cycle)
+		}
+		ref = next
 	}
 }
 
@@ -108,6 +303,11 @@ func (s *Simulator) execute(u *uop, cycle int64) {
 			p.rbSched, p.tcSched = full, full
 			p.outRB = false
 		}
+	}
+	if s.backend == BackendEvent {
+		// Register consumers and ordered memory operations wake off the same
+		// chain; both prod and done are final by this point.
+		s.wakeDependents(u.idx, cycle)
 	}
 }
 

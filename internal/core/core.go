@@ -13,6 +13,13 @@
 // committed trace; wrong-path instructions do not contend for resources, but
 // every misprediction still costs the full front-end refill from the
 // resolving branch.
+//
+// Two scheduler backends implement the wakeup/select logic (DESIGN.md
+// "Simulator performance"): the default event-driven backend posts wakeup
+// events into a calendar queue when producers are granted and skips cycles
+// in which no pipeline stage can make progress, while the poll backend
+// re-evaluates every waiting entry each cycle. They are proven to produce
+// bit-identical results by the internal/check "backends" layer.
 package core
 
 import (
@@ -24,7 +31,56 @@ import (
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/sched"
 )
+
+// Backend selects the wakeup/select implementation.
+type Backend uint8
+
+const (
+	// BackendEvent is the event-driven scheduler: producer grants post
+	// wakeup events into a calendar queue, consumers track a count of
+	// unsatisfied sources, and the main loop skips dead cycles. The default.
+	BackendEvent Backend = iota
+	// BackendPoll is the original poll-based scheduler, kept as the oracle
+	// the event-driven backend is differentially verified against: every
+	// waiting entry re-evaluates its readiness every cycle.
+	BackendPoll
+)
+
+// String names the backend ("event" or "poll").
+func (b Backend) String() string {
+	switch b {
+	case BackendEvent:
+		return "event"
+	case BackendPoll:
+		return "poll"
+	}
+	return fmt.Sprintf("Backend(%d)", uint8(b))
+}
+
+// ParseBackend parses a -sched flag value.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "event":
+		return BackendEvent, nil
+	case "poll":
+		return BackendPoll, nil
+	}
+	return 0, fmt.Errorf("core: unknown scheduler backend %q (want event or poll)", s)
+}
+
+// defaultBackend is the backend used by Run/RunWithProgram and friends.
+var defaultBackend = BackendEvent
+
+// SetDefaultBackend changes the backend used by the package-level Run
+// helpers (the cmd/rbsim and cmd/rbexp -sched flags). It returns the
+// previous default.
+func SetDefaultBackend(b Backend) Backend {
+	old := defaultBackend
+	defaultBackend = b
+	return old
+}
 
 // prodRecord describes when and how one instruction's result becomes
 // available to consumers.
@@ -41,7 +97,22 @@ type prodRecord struct {
 	outRB bool
 }
 
-// uop is one in-flight instruction in the window.
+// nilID terminates every intrusive uop list.
+const nilID = int32(-1)
+
+// uop lifecycle states within the slab.
+const (
+	uopFree    uint8 = iota // on the free list
+	uopWaiting              // resident; event backend: unsatisfied sources remain
+	uopQueued               // event backend: wakeup posted in the calendar
+	uopReady                // event backend: in its scheduler's ready list
+	uopDead                 // squashed while queued; freed at calendar pop
+)
+
+// uop is one in-flight instruction in the window. Uops live in a slab
+// allocated once per run and are threaded through intrusive lists (per
+// scheduler residency, per-scheduler ready list, per-producer waiter
+// chains), so the steady-state issue loop allocates and copies nothing.
 type uop struct {
 	idx        int32 // trace index; -1 for wrong-path instructions
 	cluster    int8
@@ -57,6 +128,27 @@ type uop struct {
 	srcTC      [3]bool  // operand requires the TC schedule
 	memDep     int32    // older memory instruction this one must follow; -1 = none
 	wpEA       uint64   // wrong-path effective address (loads only)
+
+	// Intrusive bookkeeping.
+	seq        int64    // global dispatch order (age for oldest-first select)
+	sched      int32    // owning scheduler
+	state      uint8    // uopFree / uopWaiting / uopQueued / uopReady / uopDead
+	pending    int8     // event backend: unsatisfied wakeup sources
+	prev, next int32    // scheduler resident list (age order); next doubles as the free-list link
+	rdyPrev    int32    // scheduler ready list (age order)
+	rdyNext    int32    //
+	waitNext   [4]int32 // per-source waiter-chain links (slot 3 = memory dependence)
+}
+
+// schedList is one scheduler's intrusive state: the resident entries in age
+// order (both backends) and, for the event backend, the subset that is ready
+// to issue this cycle.
+type schedList struct {
+	head, tail int32
+	n          int
+	rdyHead    int32
+	rdyTail    int32
+	rdyN       int
 }
 
 type fetchEntry struct {
@@ -68,20 +160,42 @@ type fetchEntry struct {
 	wpEA       uint64 // wrong-path effective address
 }
 
+// calendarHorizon is the ring span of the wakeup calendar; events farther
+// out (consumers of loads that missed to memory) spill to its overflow heap.
+const calendarHorizon = 512
+
 // Simulator runs one machine configuration over one trace.
 type Simulator struct {
-	cfg   machine.Config
-	trace []emu.TraceEntry
-	hier  *mem.Hierarchy
-	pred  *branch.Predictor
+	cfg     machine.Config
+	backend Backend
+	trace   []emu.TraceEntry
+	hier    *mem.Hierarchy
+	pred    *branch.Predictor
 
 	prod        []prodRecord
 	done        []int64 // retire-eligibility cycle per trace index; -1 = not finished
 	dispCluster []int8  // cluster each dispatched instruction landed in; -1 = not dispatched
 
-	schedulers [][]uop // pending (unissued) entries per scheduler, in age order
-	fetchQ     []fetchEntry
-	fetchQCap  int
+	// The uop slab and intrusive scheduler lists.
+	pool     []uop
+	freeHead int32
+	seqCtr   int64
+	scheds   []schedList
+
+	// Event-driven wakeup state: the calendar queue of future ready cycles,
+	// the scratch buffer its buckets drain into, per-producer waiter chains
+	// (packed id<<2|slot refs into the slab), and the epoch counter that
+	// detects mid-issue wrong-path squashes.
+	cal         *sched.Calendar
+	calBuf      []int32
+	waiterHead  []int32
+	squashEpoch int64
+
+	// fetchQ is a fixed-capacity ring buffer (allocated once in New).
+	fetchQ    []fetchEntry
+	fqHead    int
+	fqLen     int
+	fetchQCap int
 
 	nextFetch        int32
 	fetchBlockedIdx  int32 // trace index of unresolved mispredicted branch; -1 = none
@@ -136,12 +250,14 @@ func New(cfg machine.Config, workload string, trace []emu.TraceEntry) (*Simulato
 	}
 	s := &Simulator{
 		cfg:             cfg,
+		backend:         defaultBackend,
 		trace:           trace,
 		hier:            mem.MustHierarchy(cfg.Mem),
 		pred:            branch.New(),
 		prod:            make([]prodRecord, len(trace)),
 		done:            make([]int64, len(trace)),
-		schedulers:      make([][]uop, cfg.NumSchedulers),
+		scheds:          make([]schedList, cfg.NumSchedulers),
+		freeHead:        nilID,
 		fetchQCap:       int(cfg.FrontLatency+2) * cfg.FrontWidth,
 		fetchBlockedIdx: -1,
 		lastFetchLine:   -1,
@@ -150,6 +266,14 @@ func New(cfg machine.Config, workload string, trace []emu.TraceEntry) (*Simulato
 		res:             &Result{Machine: cfg.Name, Workload: workload},
 		dpEnabled:       cfg.DatapathCheck,
 	}
+	s.fetchQ = make([]fetchEntry, s.fetchQCap)
+	for i := range s.scheds {
+		s.scheds[i] = schedList{head: nilID, tail: nilID, rdyHead: nilID, rdyTail: nilID}
+	}
+	// Slab-allocate the window once; squashed wrong-path entries can briefly
+	// outlive their window slot while awaiting their calendar pop, hence the
+	// slack (the slab still grows on demand if it ever runs dry).
+	s.pool = make([]uop, 0, cfg.WindowSize+2*cfg.FrontWidth)
 	s.dispCluster = make([]int8, len(trace))
 	for i := range s.prod {
 		s.prod[i].t = -1
@@ -159,12 +283,21 @@ func New(cfg machine.Config, workload string, trace []emu.TraceEntry) (*Simulato
 	return s, nil
 }
 
+// SetBackend selects the scheduler backend. Must be called before Simulate.
+func (s *Simulator) SetBackend(b Backend) { s.backend = b }
+
 // Run simulates the trace to completion and returns the results.
 func Run(cfg machine.Config, workload string, trace []emu.TraceEntry) (*Result, error) {
+	return RunBackend(cfg, workload, trace, defaultBackend)
+}
+
+// RunBackend is Run with an explicit scheduler backend.
+func RunBackend(cfg machine.Config, workload string, trace []emu.TraceEntry, b Backend) (*Result, error) {
 	s, err := New(cfg, workload, trace)
 	if err != nil {
 		return nil, err
 	}
+	s.SetBackend(b)
 	return s.Simulate()
 }
 
@@ -178,10 +311,17 @@ type StageRecord struct {
 // RunWithStages simulates like Run and also returns per-instruction stage
 // timing, for pipeline-diagram rendering (paper Figures 5 and 7).
 func RunWithStages(cfg machine.Config, workload string, trace []emu.TraceEntry) (*Result, []StageRecord, error) {
+	return RunWithStagesBackend(cfg, workload, trace, defaultBackend)
+}
+
+// RunWithStagesBackend is RunWithStages with an explicit scheduler backend
+// (the backends differential gate compares the full stage timelines).
+func RunWithStagesBackend(cfg machine.Config, workload string, trace []emu.TraceEntry, b Backend) (*Result, []StageRecord, error) {
 	s, err := New(cfg, workload, trace)
 	if err != nil {
 		return nil, nil, err
 	}
+	s.SetBackend(b)
 	s.stages = make([]StageRecord, len(trace))
 	for i := range s.stages {
 		s.stages[i] = StageRecord{Fetch: -1, Dispatch: -1, Issue: -1, Done: -1, Retire: -1}
@@ -207,10 +347,16 @@ func RunProgram(cfg machine.Config, workload string, prog *isa.Program, maxInsts
 // RunWithProgram simulates a pre-computed trace with the static program
 // image available for wrong-path fetching.
 func RunWithProgram(cfg machine.Config, workload string, prog *isa.Program, trace []emu.TraceEntry) (*Result, error) {
+	return RunProgramBackend(cfg, workload, prog, trace, defaultBackend)
+}
+
+// RunProgramBackend is RunWithProgram with an explicit scheduler backend.
+func RunProgramBackend(cfg machine.Config, workload string, prog *isa.Program, trace []emu.TraceEntry, b Backend) (*Result, error) {
 	s, err := New(cfg, workload, trace)
 	if err != nil {
 		return nil, err
 	}
+	s.SetBackend(b)
 	s.prog = prog
 	if cfg.ModelWrongPath {
 		s.shadowMem = emu.NewMemory()
@@ -230,7 +376,142 @@ func (s *Simulator) clusterOf(sched int) int8 {
 	return int8(sched / perCluster)
 }
 
-// Simulate runs the main cycle loop.
+// --- slab and intrusive list plumbing ---------------------------------------
+
+// allocUop takes a slot from the free list (growing the slab only if a burst
+// of squashed-but-queued entries exhausted the slack).
+func (s *Simulator) allocUop() int32 {
+	if s.freeHead != nilID {
+		id := s.freeHead
+		s.freeHead = s.pool[id].next
+		return id
+	}
+	s.pool = append(s.pool, uop{})
+	return int32(len(s.pool) - 1)
+}
+
+// freeUop returns a slot to the free list.
+func (s *Simulator) freeUop(id int32) {
+	u := &s.pool[id]
+	u.state = uopFree
+	u.next = s.freeHead
+	s.freeHead = id
+}
+
+// residentPush appends a uop to its scheduler's resident list (dispatch
+// order == age order).
+func (s *Simulator) residentPush(si int, id int32) {
+	l := &s.scheds[si]
+	u := &s.pool[id]
+	u.prev, u.next = l.tail, nilID
+	if l.tail != nilID {
+		s.pool[l.tail].next = id
+	} else {
+		l.head = id
+	}
+	l.tail = id
+	l.n++
+}
+
+// residentRemove unlinks a uop from its scheduler's resident list.
+func (s *Simulator) residentRemove(si int, id int32) {
+	l := &s.scheds[si]
+	u := &s.pool[id]
+	if u.prev != nilID {
+		s.pool[u.prev].next = u.next
+	} else {
+		l.head = u.next
+	}
+	if u.next != nilID {
+		s.pool[u.next].prev = u.prev
+	} else {
+		l.tail = u.prev
+	}
+	u.prev, u.next = nilID, nilID
+	l.n--
+}
+
+// readyInsert places a woken uop into its scheduler's ready list keeping age
+// order (woken entries are usually the youngest, so the scan from the tail
+// is short).
+func (s *Simulator) readyInsert(si int, id int32) {
+	l := &s.scheds[si]
+	u := &s.pool[id]
+	at := l.rdyTail
+	for at != nilID && s.pool[at].seq > u.seq {
+		at = s.pool[at].rdyPrev
+	}
+	if at == nilID { // new head
+		u.rdyPrev, u.rdyNext = nilID, l.rdyHead
+		if l.rdyHead != nilID {
+			s.pool[l.rdyHead].rdyPrev = id
+		} else {
+			l.rdyTail = id
+		}
+		l.rdyHead = id
+	} else {
+		u.rdyPrev, u.rdyNext = at, s.pool[at].rdyNext
+		if s.pool[at].rdyNext != nilID {
+			s.pool[s.pool[at].rdyNext].rdyPrev = id
+		} else {
+			l.rdyTail = id
+		}
+		s.pool[at].rdyNext = id
+	}
+	l.rdyN++
+}
+
+// readyRemove unlinks a uop from its scheduler's ready list.
+func (s *Simulator) readyRemove(si int, id int32) {
+	l := &s.scheds[si]
+	u := &s.pool[id]
+	if u.rdyPrev != nilID {
+		s.pool[u.rdyPrev].rdyNext = u.rdyNext
+	} else {
+		l.rdyHead = u.rdyNext
+	}
+	if u.rdyNext != nilID {
+		s.pool[u.rdyNext].rdyPrev = u.rdyPrev
+	} else {
+		l.rdyTail = u.rdyPrev
+	}
+	u.rdyPrev, u.rdyNext = nilID, nilID
+	l.rdyN--
+}
+
+// --- fetch-queue ring --------------------------------------------------------
+
+func (s *Simulator) fqPush(fe fetchEntry) {
+	s.fetchQ[(s.fqHead+s.fqLen)%s.fetchQCap] = fe
+	s.fqLen++
+}
+
+func (s *Simulator) fqFront() *fetchEntry {
+	return &s.fetchQ[s.fqHead]
+}
+
+func (s *Simulator) fqPop() {
+	s.fqHead = (s.fqHead + 1) % s.fetchQCap
+	s.fqLen--
+}
+
+// fqFilterWP compacts the ring, dropping wrong-path entries.
+func (s *Simulator) fqFilterWP() {
+	kept := 0
+	for i := 0; i < s.fqLen; i++ {
+		fe := s.fetchQ[(s.fqHead+i)%s.fetchQCap]
+		if fe.idx >= 0 {
+			s.fetchQ[(s.fqHead+kept)%s.fetchQCap] = fe
+			kept++
+		}
+	}
+	s.fqLen = kept
+}
+
+// Simulate runs the main cycle loop. The event-driven backend additionally
+// skips dead cycles: when no scheduler has a ready entry, no wakeup event is
+// due, the front end is stalled or drained, and no retirement is pending,
+// the loop jumps straight to the next cycle at which any stage can act.
 func (s *Simulator) Simulate() (*Result, error) {
 	n := int32(len(s.trace))
 	if n == 0 {
@@ -238,6 +519,14 @@ func (s *Simulator) Simulate() (*Result, error) {
 	}
 	// Precompute per-entry dependence and classification info.
 	srcIdx, srcTC, nsrc, memDep := s.buildDependences()
+	if s.backend == BackendEvent {
+		s.cal = sched.NewCalendar(calendarHorizon)
+		s.calBuf = make([]int32, 0, s.cfg.FrontWidth*4)
+		s.waiterHead = make([]int32, len(s.trace))
+		for i := range s.waiterHead {
+			s.waiterHead[i] = nilID
+		}
+	}
 
 	var cycle int64
 	lastProgress := int64(0)
@@ -246,7 +535,11 @@ func (s *Simulator) Simulate() (*Result, error) {
 	for s.retirePtr < n {
 		s.fetch(cycle)
 		s.dispatch(cycle, srcIdx, srcTC, nsrc, memDep)
-		s.issue(cycle)
+		if s.backend == BackendEvent {
+			s.issueEvent(cycle)
+		} else {
+			s.issuePoll(cycle)
+		}
 		s.retire(cycle)
 		if s.oracleErr != nil {
 			return nil, s.oracleErr
@@ -260,7 +553,21 @@ func (s *Simulator) Simulate() (*Result, error) {
 			return nil, fmt.Errorf("core: no retirement progress for 100000 cycles at cycle %d (retired %d/%d)",
 				cycle, s.retirePtr, n)
 		}
-		cycle++
+		if s.backend == BackendEvent && s.retirePtr < n {
+			next := s.nextActiveCycle(cycle)
+			if next < 0 || next > lastProgress+100001 {
+				// No wakeup will ever fire (or not before the watchdog): step
+				// to the cycle at which the no-progress check trips, exactly
+				// as the polling loop would.
+				next = lastProgress + 100001
+			}
+			// Nothing dispatches or retires in the skipped cycles, so window
+			// occupancy is constant across them.
+			s.res.OccupancySum += int64(s.inFlight) * (next - cycle - 1)
+			cycle = next
+		} else {
+			cycle++
+		}
 	}
 	s.res.Cycles = cycle
 	s.res.Instructions = int64(n)
@@ -271,6 +578,66 @@ func (s *Simulator) Simulate() (*Result, error) {
 		s.res.Table1Counts[isa.ClassOf(te.Inst.Op).Row]++
 	}
 	return s.res, nil
+}
+
+// nextActiveCycle returns the earliest cycle after `cycle` at which any
+// pipeline stage can make progress, or -1 if no such cycle exists (a
+// genuine deadlock, surfaced through the no-progress watchdog). Skipping is
+// sound because every state change in a dead cycle is impossible by
+// construction: issue requires a ready entry or a calendar event, retire
+// requires an executed instruction at the head, and fetch/dispatch
+// eligibility is computed exactly below.
+func (s *Simulator) nextActiveCycle(cycle int64) int64 {
+	next := int64(-1)
+	upd := func(c int64) {
+		if c <= cycle {
+			c = cycle + 1
+		}
+		if next < 0 || c < next {
+			next = c
+		}
+	}
+	// Ready entries left over from select contention re-arm for cycle+1.
+	for si := range s.scheds {
+		if s.scheds[si].rdyN > 0 {
+			upd(cycle + 1)
+			break
+		}
+	}
+	// Posted wakeup events.
+	if ev := s.cal.NextEvent(cycle + 1); ev >= 0 {
+		upd(ev)
+	}
+	// In-order retirement: the head instruction retires the cycle after its
+	// final EXE stage (if not yet executed, its grant is a calendar event).
+	if s.retirePtr < int32(len(s.trace)) {
+		if d := s.done[s.retirePtr]; d >= 0 {
+			upd(d + 1)
+		}
+	}
+	// Dispatch: the queue head leaves fetch/decode/rename at
+	// fetchCycle+FrontLatency. A full window is excluded here — it reopens
+	// only at a retirement, which is already a candidate above (likewise a
+	// full scheduler reopens only at a grant).
+	if s.fqLen > 0 && s.inFlight < s.cfg.WindowSize {
+		upd(s.fqFront().fetchCycle + s.cfg.FrontLatency)
+	}
+	// Fetch.
+	switch {
+	case s.fetchBlockedTill > cycle:
+		// Stalled on an I-cache miss or a just-resolved misprediction's
+		// front-end refill.
+		upd(s.fetchBlockedTill)
+	case s.fetchBlockedIdx >= 0:
+		// Waiting for a mispredicted branch to resolve (covered by its
+		// grant event) — unless wrong-path fetch is active.
+		if s.cfg.ModelWrongPath && s.prog != nil && s.wpPC >= 0 && s.fqLen < s.fetchQCap {
+			upd(cycle + 1)
+		}
+	case s.nextFetch < int32(len(s.trace)) && s.fqLen < s.fetchQCap:
+		upd(cycle + 1)
+	}
+	return next
 }
 
 // buildDependences computes, for every trace entry, the trace indices of the

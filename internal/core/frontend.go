@@ -27,7 +27,7 @@ func (s *Simulator) fetch(cycle int64) {
 	n := int32(len(s.trace))
 	fetched := 0
 	blocks := 1
-	for fetched < s.cfg.FrontWidth && s.nextFetch < n && len(s.fetchQ) < s.fetchQCap {
+	for fetched < s.cfg.FrontWidth && s.nextFetch < n && s.fqLen < s.fetchQCap {
 		te := &s.trace[s.nextFetch]
 		// Instruction cache: one access per line (8-byte instructions).
 		line := int64(te.PC) * 8 >> 6
@@ -44,7 +44,7 @@ func (s *Simulator) fetch(cycle int64) {
 		if s.stages != nil {
 			s.stages[s.nextFetch].Fetch = cycle
 		}
-		s.fetchQ = append(s.fetchQ, fetchEntry{idx: s.nextFetch, fetchCycle: cycle, mispredict: mispredict})
+		s.fqPush(fetchEntry{idx: s.nextFetch, fetchCycle: cycle, mispredict: mispredict})
 		s.updateShadow(te)
 		s.nextFetch++
 		fetched++
@@ -136,8 +136,8 @@ func (s *Simulator) predictBranch(te *emu.TraceEntry) bool {
 // dispatch moves instructions from the front-end queue into the schedulers.
 func (s *Simulator) dispatch(cycle int64, srcIdx [][3]int32, srcTC [][3]bool, nsrc []int8, memDep []int32) {
 	dispatched := 0
-	for len(s.fetchQ) > 0 && dispatched < s.cfg.FrontWidth {
-		fe := s.fetchQ[0]
+	for s.fqLen > 0 && dispatched < s.cfg.FrontWidth {
+		fe := s.fqFront()
 		if fe.fetchCycle+s.cfg.FrontLatency > cycle {
 			return // still in fetch/decode/rename
 		}
@@ -148,17 +148,19 @@ func (s *Simulator) dispatch(cycle int64, srcIdx [][3]int32, srcTC [][3]bool, ns
 			if !s.dispatchWrongPath(fe, cycle) {
 				return
 			}
-			s.fetchQ = s.fetchQ[1:]
+			s.fqPop()
 			dispatched++
 			continue
 		}
 		te := &s.trace[fe.idx]
 		cls := te.Inst.EffectiveClass()
 		sched := s.steerTarget(cls, srcIdx[fe.idx], nsrc[fe.idx])
-		if len(s.schedulers[sched]) >= s.cfg.SchedulerSize {
+		if s.scheds[sched].n >= s.cfg.SchedulerSize {
 			return // in-order dispatch stalls on a full scheduler
 		}
-		u := uop{
+		id := s.allocUop()
+		u := &s.pool[id]
+		*u = uop{
 			idx:        fe.idx,
 			cluster:    s.clusterOf(sched),
 			mispredict: fe.mispredict,
@@ -171,13 +173,25 @@ func (s *Simulator) dispatch(cycle int64, srcIdx [][3]int32, srcTC [][3]bool, ns
 			src:        srcIdx[fe.idx],
 			srcTC:      srcTC[fe.idx],
 			memDep:     memDep[fe.idx],
+			seq:        s.seqCtr,
+			sched:      int32(sched),
+			state:      uopWaiting,
+			prev:       nilID,
+			next:       nilID,
+			rdyPrev:    nilID,
+			rdyNext:    nilID,
+			waitNext:   [4]int32{nilID, nilID, nilID, nilID},
 		}
+		s.seqCtr++
 		if s.stages != nil {
 			s.stages[fe.idx].Dispatch = cycle
 		}
-		s.schedulers[sched] = append(s.schedulers[sched], u)
+		s.residentPush(sched, id)
+		if s.backend == BackendEvent {
+			s.eventArm(id, cycle)
+		}
 		s.dispCluster[fe.idx] = u.cluster
-		s.fetchQ = s.fetchQ[1:]
+		s.fqPop()
 		if s.cfg.ClassSchedulers && cls.In == isa.FormatTC {
 			s.steerCountTC++
 		} else {
@@ -208,7 +222,7 @@ func (s *Simulator) steerTarget(cls isa.Class, src [3]int32, nsrc int8) int {
 			best := int(c) * perCluster
 			for i := 1; i < perCluster; i++ {
 				cand := int(c)*perCluster + i
-				if len(s.schedulers[cand]) < len(s.schedulers[best]) {
+				if s.scheds[cand].n < s.scheds[best].n {
 					best = cand
 				}
 			}

@@ -178,24 +178,26 @@ func b2u(b bool) uint64 {
 func (s *Simulator) pipelineDump(cycle int64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "  cycle %d: retired %d/%d, %d in flight, fetch queue %d/%d",
-		cycle, s.retirePtr, len(s.trace), s.inFlight, len(s.fetchQ), s.fetchQCap)
+		cycle, s.retirePtr, len(s.trace), s.inFlight, s.fqLen, s.fetchQCap)
 	if s.fetchBlockedIdx >= 0 {
 		fmt.Fprintf(&b, ", fetch blocked on branch %d", s.fetchBlockedIdx)
 	}
 	b.WriteByte('\n')
-	for i, entries := range s.schedulers {
-		fmt.Fprintf(&b, "  scheduler %d (cluster %d): %d pending", i, s.clusterOf(i), len(entries))
-		for j := range entries {
+	for i := range s.scheds {
+		fmt.Fprintf(&b, "  scheduler %d (cluster %d): %d pending", i, s.clusterOf(i), s.scheds[i].n)
+		j := 0
+		for id := s.scheds[i].head; id != nilID; id = s.pool[id].next {
 			if j >= 4 {
 				b.WriteString(" ...")
 				break
 			}
-			u := &entries[j]
+			u := &s.pool[id]
 			if u.wp {
 				b.WriteString(" [wrong-path]")
 			} else {
 				fmt.Fprintf(&b, " [%d %v]", u.idx, s.trace[u.idx].Inst.Op)
 			}
+			j++
 		}
 		b.WriteByte('\n')
 	}

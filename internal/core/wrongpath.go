@@ -107,7 +107,7 @@ func (s *Simulator) fetchWrongPath(cycle int64) {
 	}
 	fetched := 0
 	blocks := 1
-	for fetched < s.cfg.FrontWidth && len(s.fetchQ) < s.fetchQCap {
+	for fetched < s.cfg.FrontWidth && s.fqLen < s.fetchQCap {
 		if s.wpPC < 0 || s.wpPC >= len(s.prog.Insts) {
 			s.wpPC = -1
 			return
@@ -124,7 +124,7 @@ func (s *Simulator) fetchWrongPath(cycle int64) {
 		}
 		fe := fetchEntry{idx: -1, fetchCycle: cycle, wpOp: in.Op}
 		s.wpExecute(s.wpPC, in, &fe)
-		s.fetchQ = append(s.fetchQ, fe)
+		s.fqPush(fe)
 		s.fetchQHasWP = true
 		fetched++
 		next, taken, ok := s.wrongPathNext(s.wpPC, in)
@@ -217,23 +217,38 @@ func (s *Simulator) wrongPathNext(pc int, in isa.Instruction) (next int, taken b
 }
 
 // dispatchWrongPath places one wrong-path fetch entry into a scheduler.
-func (s *Simulator) dispatchWrongPath(fe fetchEntry, cycle int64) bool {
+func (s *Simulator) dispatchWrongPath(fe *fetchEntry, cycle int64) bool {
 	cls := isa.ClassOf(fe.wpOp)
 	sched := s.steerTarget(cls, [3]int32{}, 0)
-	if len(s.schedulers[sched]) >= s.cfg.SchedulerSize {
+	if s.scheds[sched].n >= s.cfg.SchedulerSize {
 		return false
 	}
-	u := uop{
-		idx:     -1,
-		cluster: s.clusterOf(sched),
-		wp:      true,
-		isLoad:  fe.wpIsLoad,
-		wpEA:    fe.wpEA,
-		latency: s.cfg.Latency(cls.Latency),
-		class:   cls.Latency,
-		minExe:  cycle + s.cfg.IssueToExecute,
+	id := s.allocUop()
+	u := &s.pool[id]
+	*u = uop{
+		idx:      -1,
+		cluster:  s.clusterOf(sched),
+		wp:       true,
+		isLoad:   fe.wpIsLoad,
+		wpEA:     fe.wpEA,
+		latency:  s.cfg.Latency(cls.Latency),
+		class:    cls.Latency,
+		minExe:   cycle + s.cfg.IssueToExecute,
+		seq:      s.seqCtr,
+		sched:    int32(sched),
+		state:    uopWaiting,
+		prev:     nilID,
+		next:     nilID,
+		rdyPrev:  nilID,
+		rdyNext:  nilID,
+		waitNext: [4]int32{nilID, nilID, nilID, nilID},
 	}
-	s.schedulers[sched] = append(s.schedulers[sched], u)
+	s.seqCtr++
+	s.residentPush(sched, id)
+	if s.backend == BackendEvent {
+		// No sources and no memory ordering: issueable at minExe.
+		s.postReady(id, cycle)
+	}
 	s.steerCount++
 	s.inFlight++
 	s.wpInFlight++
@@ -241,31 +256,43 @@ func (s *Simulator) dispatchWrongPath(fe fetchEntry, cycle int64) bool {
 }
 
 // squashWrongPath removes every wrong-path instruction from the front-end
-// queue and the schedulers when the mispredicted branch resolves.
+// queue and the schedulers when the mispredicted branch resolves. Squash is
+// immediate and total: a squashed entry can never issue afterwards. (The
+// pre-slab implementation compacted the scheduler slices in place, aliasing
+// the backing array an in-progress issue scan was compacting through — the
+// classic bug-surface the intrusive lists remove. Issue scans observe the
+// squash via squashEpoch and restart from a clean list head.)
 func (s *Simulator) squashWrongPath() {
 	if s.wpInFlight == 0 && s.wpPC < 0 && !s.fetchQHasWP {
 		return
 	}
-	kept := s.fetchQ[:0]
-	for _, fe := range s.fetchQ {
-		if fe.idx >= 0 {
-			kept = append(kept, fe)
-		}
-	}
-	s.fetchQ = kept
-	for si := range s.schedulers {
-		keptU := s.schedulers[si][:0]
-		for _, u := range s.schedulers[si] {
-			if !u.wp {
-				keptU = append(keptU, u)
+	s.fqFilterWP()
+	for si := range s.scheds {
+		id := s.scheds[si].head
+		for id != nilID {
+			u := &s.pool[id]
+			next := u.next
+			if u.wp {
+				s.residentRemove(si, id)
+				switch u.state {
+				case uopReady:
+					s.readyRemove(si, id)
+					s.freeUop(id)
+				case uopQueued:
+					// Its wakeup is in the calendar; reclaim when it pops.
+					u.state = uopDead
+				default:
+					s.freeUop(id)
+				}
 			}
+			id = next
 		}
-		s.schedulers[si] = keptU
 	}
 	s.inFlight -= s.wpInFlight
 	s.wpInFlight = 0
 	s.wpPC = -1
 	s.fetchQHasWP = false
+	s.squashEpoch++
 }
 
 // executeWrongPath models a granted wrong-path instruction: it occupied a

@@ -34,12 +34,14 @@ var Determinism = &Analyzer{
 }
 
 // determinismScope names the simulator packages the rule applies to, by
-// package name: the timing core and its scheduler, the machine
-// configurations, the experiment harness, the stats renderer, and the
-// differential check suite (which earns explicit allow directives for its
-// wall-clock duration measurements).
+// package name: the timing core and its scheduler (including the calendar
+// queue behind the event-driven backend), the bypass-schedule algebra the
+// wakeup cycles are computed from, the machine configurations, the
+// experiment harness, the stats renderer, and the differential check suite
+// (which earns explicit allow directives for its wall-clock duration
+// measurements).
 var determinismScope = map[string]bool{
-	"core": true, "sched": true, "machine": true,
+	"core": true, "sched": true, "bypass": true, "machine": true,
 	"experiments": true, "stats": true, "check": true,
 }
 

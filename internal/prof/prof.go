@@ -1,0 +1,75 @@
+// Package prof wires the standard pprof/trace hooks into the command-line
+// tools, so simulator hot paths can be profiled without ad-hoc edits (see
+// README "Profiling the simulator").
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Start begins the requested profiles. Each argument is a file path or ""
+// to disable that profile. The returned stop function flushes and closes
+// everything and must be called before exit (defer it in main); it is never
+// nil. On error, any partially started profiles are stopped.
+func Start(cpuProfile, memProfile, traceFile string) (stop func(), err error) {
+	var stops []func()
+	stop = func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	fail := func(err error) (func(), error) {
+		stop()
+		return func() {}, err
+	}
+
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return fail(fmt.Errorf("cpu profile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("cpu profile: %w", err))
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return fail(fmt.Errorf("execution trace: %w", err))
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("execution trace: %w", err))
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+	if memProfile != "" {
+		// The heap profile is written at stop time, after a final GC, so it
+		// reflects live allocations at the end of the run.
+		stops = append(stops, func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: heap profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: heap profile: %v\n", err)
+			}
+		})
+	}
+	return stop, nil
+}

@@ -1,0 +1,178 @@
+package sched
+
+// Calendar is a bucketed calendar queue over future cycles: the event-driven
+// counterpart of the Figure-8(b) countdown shift registers. Where the
+// hardware seeds one shift register per granted producer and every waiting
+// consumer polls the RESOURCE AVAILABLE lines, the software model inverts
+// the direction: when a producer is granted, the exact future cycles at
+// which its value forms become obtainable are computed in closed form
+// (bypass.Schedule) and a single wakeup event per consumer is posted here.
+// Popping a cycle's bucket yields precisely the entries whose resources are
+// available that cycle, so the simulator never re-scans waiting entries.
+//
+// Representation: a power-of-two ring of buckets indexed by cycle & mask.
+// Every buffered event lies within [now, now+len(heads)), so a bucket holds
+// events for at most one cycle at a time. Buckets are intrusive chain heads:
+// events in the same bucket link through an id-indexed array, so posting and
+// popping never allocate in steady state (the link array grows only when a
+// larger id than ever before is posted — bounded by the caller's entry
+// pool). Events posted beyond the horizon (e.g. consumers of a load that
+// missed to memory) overflow into a small min-heap and migrate into the ring
+// as time advances.
+//
+// Each id may be buffered at most once at a time; delivery order within one
+// cycle is unspecified (the simulator re-sorts woken entries by age).
+type Calendar struct {
+	heads []int32 // per-bucket chain head; nilEvent = empty
+	link  []int32 // link[id] = next event id in the same bucket
+	mask  int64
+	now   int64
+	count int
+	far   []farEvent // min-heap ordered by cycle
+}
+
+const nilEvent = int32(-1)
+
+type farEvent struct {
+	cycle int64
+	id    int32
+}
+
+// NewCalendar builds a calendar whose ring covers at least horizon cycles
+// ahead; events farther out spill to the overflow heap.
+func NewCalendar(horizon int) *Calendar {
+	size := 64
+	for size < horizon {
+		size *= 2
+	}
+	c := &Calendar{
+		heads: make([]int32, size),
+		mask:  int64(size - 1),
+		far:   make([]farEvent, 0, 16),
+	}
+	for i := range c.heads {
+		c.heads[i] = nilEvent
+	}
+	return c
+}
+
+// Len is the number of buffered events (ring and overflow).
+func (c *Calendar) Len() int { return c.count }
+
+// Post schedules id to be delivered when cycle is popped. cycle must not
+// precede the most recently popped cycle, and id must not already be
+// buffered.
+func (c *Calendar) Post(cycle int64, id int32) {
+	if cycle < c.now {
+		cycle = c.now // defensive: deliver late rather than corrupt a bucket
+	}
+	c.count++
+	if cycle-c.now >= int64(len(c.heads)) {
+		c.farPush(farEvent{cycle: cycle, id: id})
+		return
+	}
+	c.chain(cycle, id)
+}
+
+// chain links id onto the bucket for cycle (which must be within the ring).
+func (c *Calendar) chain(cycle int64, id int32) {
+	for int(id) >= len(c.link) {
+		c.link = append(c.link, nilEvent)
+	}
+	b := cycle & c.mask
+	c.link[id] = c.heads[b]
+	c.heads[b] = id
+}
+
+// Pop advances the calendar to cycle and appends that cycle's events to buf,
+// returning the extended slice. Cycles may be skipped: popping cycle t
+// delivers exactly the events posted for t (events for skipped cycles must
+// not exist — the caller only skips past provably dead cycles).
+func (c *Calendar) Pop(cycle int64, buf []int32) []int32 {
+	if cycle < c.now {
+		return buf
+	}
+	c.now = cycle
+	// Migrate overflow events that are now within the ring's horizon.
+	for len(c.far) > 0 && c.far[0].cycle-cycle < int64(len(c.heads)) {
+		ev := c.farPop()
+		t := ev.cycle
+		if t < cycle {
+			t = cycle
+		}
+		c.chain(t, ev.id)
+	}
+	b := cycle & c.mask
+	for id := c.heads[b]; id != nilEvent; id = c.link[id] {
+		buf = append(buf, id)
+		c.count--
+	}
+	c.heads[b] = nilEvent
+	return buf
+}
+
+// NextEvent returns the earliest cycle >= from holding a buffered event, or
+// -1 if the calendar is empty. Used by the main loop to skip dead cycles.
+func (c *Calendar) NextEvent(from int64) int64 {
+	if c.count == 0 {
+		return -1
+	}
+	if from < c.now {
+		from = c.now
+	}
+	best := int64(-1)
+	horizon := c.now + int64(len(c.heads))
+	for t := from; t < horizon; t++ {
+		if c.heads[t&c.mask] != nilEvent {
+			best = t
+			break
+		}
+	}
+	if len(c.far) > 0 {
+		if f := c.far[0].cycle; best < 0 || f < best {
+			if f >= from {
+				best = f
+			}
+		}
+	}
+	return best
+}
+
+// farPush inserts into the overflow min-heap.
+func (c *Calendar) farPush(ev farEvent) {
+	c.far = append(c.far, ev)
+	i := len(c.far) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if c.far[parent].cycle <= c.far[i].cycle {
+			break
+		}
+		c.far[parent], c.far[i] = c.far[i], c.far[parent]
+		i = parent
+	}
+}
+
+// farPop removes the minimum from the overflow heap.
+func (c *Calendar) farPop() farEvent {
+	min := c.far[0]
+	last := len(c.far) - 1
+	c.far[0] = c.far[last]
+	c.far = c.far[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && c.far[l].cycle < c.far[small].cycle {
+			small = l
+		}
+		if r < last && c.far[r].cycle < c.far[small].cycle {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		c.far[i], c.far[small] = c.far[small], c.far[i]
+		i = small
+	}
+	return min
+}

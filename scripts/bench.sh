@@ -1,0 +1,79 @@
+#!/bin/sh
+# Benchmark recorder: runs the per-figure benchmarks (bench_test.go) with
+# -benchmem and emits a machine-readable BENCH_<n>.json so the performance
+# trajectory of the simulator is recorded PR over PR.
+#
+# Usage:
+#   scripts/bench.sh                       # default figure subset, count=3
+#   scripts/bench.sh -bench . -count 1     # everything, single run
+#   scripts/bench.sh -out BENCH_3_after.json
+#
+# Each JSON record averages the -count runs of one benchmark: ns/op,
+# B/op, allocs/op, and every custom metric the benchmark reports
+# (e.g. rbfull-vs-baseline-%, insts/op).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH='Figure9$|Figure11$|Figure13$|SimulatorThroughput$'
+COUNT=3
+OUT=''
+
+while [ $# -gt 0 ]; do
+	case "$1" in
+	-bench) BENCH="$2"; shift 2 ;;
+	-count) COUNT="$2"; shift 2 ;;
+	-out) OUT="$2"; shift 2 ;;
+	*) echo "bench.sh: unknown argument $1" >&2; exit 2 ;;
+	esac
+done
+
+if [ -z "$OUT" ]; then
+	n=0
+	while [ -e "BENCH_$n.json" ]; do n=$((n + 1)); done
+	OUT="BENCH_$n.json"
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$BENCH" -benchtime 1x -benchmem -count "$COUNT" . | tee "$RAW"
+
+# Parse `BenchmarkName-P  iters  v1 unit1  v2 unit2 ...` lines, averaging
+# every (value, unit) pair across the -count runs of each benchmark.
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (!(name in seen)) { seen[name] = 1; order[++nb] = name }
+	runs[name]++
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		sum[name, unit] += $i
+		if (!((name, unit) in hasunit)) {
+			hasunit[name, unit] = 1
+			units[name] = units[name] SUBSEP unit
+		}
+	}
+}
+END {
+	printf "[\n"
+	for (b = 1; b <= nb; b++) {
+		name = order[b]
+		printf "  {\"benchmark\": \"%s\", \"runs\": %d", name, runs[name]
+		nu = split(units[name], ul, SUBSEP)
+		for (u = 2; u <= nu; u++) {
+			unit = ul[u]
+			key = unit
+			gsub(/[^A-Za-z0-9%\/-]/, "_", key)
+			printf ", \"%s\": %.6g", key, sum[name, unit] / runs[name]
+		}
+		printf "}"
+		if (b < nb) printf ","
+		printf "\n"
+	}
+	printf "]\n"
+}
+' "$RAW" >"$OUT"
+
+echo "wrote $OUT"

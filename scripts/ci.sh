@@ -1,7 +1,8 @@
 #!/bin/sh
 # Tier-1 gate: static checks, the full test suite under the race detector,
 # and the quick tier of the differential verification suite (lockstep
-# oracle, machine invariants, adder and converter equivalence).
+# oracle, machine invariants, the poll-vs-event scheduler backend gate,
+# adder and converter equivalence).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -12,4 +13,6 @@ go build ./...
 # Race instrumentation slows the experiment-matrix tests well past the
 # default 10m package timeout; they pass with room to spare given 40m.
 go test -race -timeout 40m ./...
+# -quick includes the backends layer: the event-driven scheduler must be
+# bit-identical to the poll oracle on every checked (machine, workload) cell.
 go run ./cmd/rbcheck -quick
