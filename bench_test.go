@@ -7,8 +7,12 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"repro/internal/branch"
@@ -19,6 +23,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/rb"
+	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -448,7 +453,7 @@ func BenchmarkAblationWrongPath(b *testing.B) {
 func BenchmarkFigure1(b *testing.B) {
 	var adv float64
 	for i := 0; i < b.N; i++ {
-		d, err := experiments.Figure1()
+		d, err := experiments.Figure1(context.Background(), experiments.Default())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -479,6 +484,39 @@ func BenchmarkSweepChainLength(b *testing.B) {
 			}
 			b.ReportMetric(ratio, "ideal-vs-baseline-x")
 		})
+	}
+}
+
+// --- Serving-layer benchmark -------------------------------------------------
+
+var (
+	benchSrvOnce sync.Once
+	benchSrv     *server.Server
+)
+
+// BenchmarkServerThroughput measures rbserve's request rate on the
+// steady-state path: the simulation behind the request runs once (first
+// request misses, fills the response cache) and every timed request after
+// that exercises routing, middleware, metrics, and the sharded cache —
+// which is what a dashboard polling the service actually pays per request.
+func BenchmarkServerThroughput(b *testing.B) {
+	benchSrvOnce.Do(func() {
+		benchSrv = server.New(server.Config{Logf: func(string, ...any) {}})
+	})
+	h := benchSrv.Handler()
+	const path = "/v1/sim?workload=compress&machine=rb-full&width=8"
+	warm := httptest.NewRecorder()
+	h.ServeHTTP(warm, httptest.NewRequest("GET", path, nil))
+	if warm.Code != http.StatusOK {
+		b.Fatalf("warm request failed: %d %s", warm.Code, warm.Body.String())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("request %d failed: %d", i, rec.Code)
+		}
 	}
 }
 

@@ -5,13 +5,18 @@
 //	rbexp -exp all            # everything, in paper order
 //	rbexp -exp fig9           # one artifact: table1|table2|table3|
 //	                          # fig9|fig10|fig11|fig12|fig13|fig14|summary
+//	rbexp -exp all -parallel 1   # serial determinism oracle
 //
 // Output is plain text: each figure prints its data table (and an ASCII bar
-// rendering for the IPC figures). See EXPERIMENTS.md for paper-vs-measured
-// commentary.
+// rendering for the IPC figures). The (machine, workload) cells of each
+// experiment fan out over a bounded worker pool; -parallel 1 runs them
+// serially, and because every simulation is deterministic the output is
+// byte-identical at any parallelism. See EXPERIMENTS.md for paper-vs-
+// measured commentary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -25,12 +30,12 @@ import (
 
 type artifact struct {
 	name string
-	run  func(io.Writer) error
+	run  func(context.Context, experiments.Runner, io.Writer) error
 }
 
-func ipc(fn func() (*experiments.IPCFigure, error)) func(io.Writer) error {
-	return func(w io.Writer) error {
-		f, err := fn()
+func ipc(fn func(context.Context, experiments.Runner) (*experiments.IPCFigure, error)) func(context.Context, experiments.Runner, io.Writer) error {
+	return func(ctx context.Context, r experiments.Runner, w io.Writer) error {
+		f, err := fn(ctx, r)
 		if err != nil {
 			return err
 		}
@@ -38,50 +43,55 @@ func ipc(fn func() (*experiments.IPCFigure, error)) func(io.Writer) error {
 	}
 }
 
+// noRunner adapts a renderer that performs no simulation.
+func noRunner(fn func(io.Writer) error) func(context.Context, experiments.Runner, io.Writer) error {
+	return func(_ context.Context, _ experiments.Runner, w io.Writer) error { return fn(w) }
+}
+
 var artifacts = []artifact{
-	{"fig1", func(w io.Writer) error {
-		d, err := experiments.Figure1()
+	{"fig1", func(ctx context.Context, r experiments.Runner, w io.Writer) error {
+		d, err := experiments.Figure1(ctx, r)
 		if err != nil {
 			return err
 		}
 		return d.Render(w)
 	}},
-	{"table1", func(w io.Writer) error {
+	{"table1", noRunner(func(w io.Writer) error {
 		d, err := experiments.Table1()
 		if err != nil {
 			return err
 		}
 		return d.Render(w)
-	}},
-	{"table2", experiments.RenderTable2},
-	{"table3", experiments.RenderTable3},
+	})},
+	{"table2", noRunner(experiments.RenderTable2)},
+	{"table3", noRunner(experiments.RenderTable3)},
 	{"fig9", ipc(experiments.Figure9)},
 	{"fig10", ipc(experiments.Figure10)},
 	{"fig11", ipc(experiments.Figure11)},
 	{"fig12", ipc(experiments.Figure12)},
-	{"fig13", func(w io.Writer) error {
-		d, err := experiments.Figure13()
+	{"fig13", func(ctx context.Context, r experiments.Runner, w io.Writer) error {
+		d, err := experiments.Figure13(ctx, r)
 		if err != nil {
 			return err
 		}
 		return d.Render(w)
 	}},
-	{"fig14", func(w io.Writer) error {
-		d, err := experiments.Figure14()
+	{"fig14", func(ctx context.Context, r experiments.Runner, w io.Writer) error {
+		d, err := experiments.Figure14(ctx, r)
 		if err != nil {
 			return err
 		}
 		return d.Render(w)
 	}},
-	{"sweeps", func(w io.Writer) error {
-		d, err := experiments.Sweeps()
+	{"sweeps", func(ctx context.Context, r experiments.Runner, w io.Writer) error {
+		d, err := experiments.Sweeps(ctx, r)
 		if err != nil {
 			return err
 		}
 		return d.Render(w)
 	}},
-	{"summary", func(w io.Writer) error {
-		s, err := experiments.ComputeSummary()
+	{"summary", func(ctx context.Context, r experiments.Runner, w io.Writer) error {
+		s, err := experiments.ComputeSummary(ctx, r)
 		if err != nil {
 			return err
 		}
@@ -91,6 +101,7 @@ var artifacts = []artifact{
 
 func main() {
 	exp := flag.String("exp", "all", "artifact to regenerate (all, or one of: fig1 table1 table2 table3 fig9 fig10 fig11 fig12 fig13 fig14 sweeps summary)")
+	parallel := flag.Int("parallel", 0, "simulate up to N (machine, workload) cells concurrently (0 = GOMAXPROCS, 1 = serial)")
 	schedName := flag.String("sched", "event", "scheduler backend: event (calendar-queue wakeup) or poll (per-cycle rescan oracle)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -110,8 +121,16 @@ func main() {
 	}
 	defer stopProf()
 
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "rbexp: -parallel must be >= 0\n")
+		os.Exit(2)
+	}
+	harness := experiments.NewHarness(*parallel)
+	defer harness.Close()
+	ctx := context.Background()
+
 	run := func(a artifact) {
-		if err := a.run(os.Stdout); err != nil {
+		if err := a.run(ctx, harness, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "rbexp: %s: %v\n", a.name, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,112 @@
+// Command rbserve runs the simulation service: the experiment harness,
+// simulator, and check suite behind an HTTP API.
+//
+// Usage:
+//
+//	rbserve -addr :8080
+//	rbserve -addr 127.0.0.1:0 -addr-file /tmp/rbserve.addr   # ephemeral port
+//	rbserve -get http://127.0.0.1:8080/healthz               # probe client
+//
+// Endpoints: /healthz, /metrics, /v1/workloads,
+// /v1/experiment/{name}?format=json|text, /v1/sim, /v1/check, and
+// /debug/pprof. See the README "Serving the simulator" section for curl
+// examples. SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// The -get mode is a minimal HTTP client (fetch one URL, print the body,
+// exit non-zero on a non-2xx status) so scripts/ci.sh can smoke-test the
+// server without depending on curl or wget being installed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound listen address to this file once serving")
+	parallel := flag.Int("parallel", 0, "worker pool size for simulation cells (0 = GOMAXPROCS)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently admitted /v1 requests before shedding 429s (0 = 2*parallel)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request deadline for /v1 routes")
+	cacheMB := flag.Int64("cache-mb", 64, "rendered-response cache budget in MiB")
+	get := flag.String("get", "", "probe mode: fetch this URL, print the body, and exit")
+	flag.Parse()
+
+	if *get != "" {
+		os.Exit(probe(*get))
+	}
+
+	srv := server.New(server.Config{
+		Parallel:       *parallel,
+		MaxInflight:    *maxInflight,
+		RequestTimeout: *timeout,
+		CacheBytes:     *cacheMB << 20,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("rbserve: %v", err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatalf("rbserve: %v", err)
+		}
+	}
+	log.Printf("rbserve: listening on http://%s", bound)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("rbserve: %v, draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("rbserve: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("rbserve: drained")
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("rbserve: %v", err)
+		}
+	}
+}
+
+// probe fetches one URL and prints the body; exit status 0 only for 2xx.
+func probe(url string) int {
+	client := &http.Client{Timeout: 5 * time.Minute}
+	resp, err := client.Get(url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rbserve: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintf(os.Stderr, "rbserve: %v\n", err)
+		return 1
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		fmt.Fprintf(os.Stderr, "rbserve: %s returned %s\n", url, resp.Status)
+		return 1
+	}
+	return 0
+}

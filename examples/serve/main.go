@@ -1,0 +1,87 @@
+// Serve: driving the rbserve service layer programmatically.
+//
+// This boots an in-process rbserve on an ephemeral port, then walks the API
+// the way an experiment dashboard would: discover the workloads, run one
+// simulation, fetch a paper figure (twice, to show the response cache), run
+// a verification layer on demand, and read the live metrics. Everything the
+// server computes is a deterministic function of the request parameters,
+// which is why the second figure fetch is a pure cache hit and still
+// byte-identical.
+//
+// Run: go run ./examples/serve
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/server"
+)
+
+func get(base, path string) []byte {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s\n%s", path, resp.Status, body)
+	}
+	return body
+}
+
+func main() {
+	// server.New wires the whole stack: a GOMAXPROCS-bounded worker pool,
+	// the experiment harness with its per-cell result cache, a sharded LRU
+	// over rendered responses, and the metrics/admission middleware.
+	srv := server.New(server.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("serving on %s\n\n", ts.URL)
+
+	// 1. Discover the benchmarks.
+	var workloads []server.WorkloadInfo
+	if err := json.Unmarshal(get(ts.URL, "/v1/workloads"), &workloads); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d workloads; first is %s (%s)\n\n", len(workloads), workloads[0].Name, workloads[0].Suite)
+
+	// 2. One simulation cell: compress on the full RB machine.
+	var sim server.SimResponse
+	if err := json.Unmarshal(get(ts.URL, "/v1/sim?workload=compress&machine=rb-full&width=8"), &sim); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compress on rb-full-8: IPC %.3f (backend %s)\n\n", sim.IPC, sim.Backend)
+
+	// 3. A paper artifact, twice. The text form is byte-identical to
+	// `rbexp -exp fig11`; the repeat is served from the response cache.
+	first := get(ts.URL, "/v1/experiment/fig11?format=text")
+	second := get(ts.URL, "/v1/experiment/fig11?format=text")
+	fmt.Printf("fig11 rendered: %d bytes, repeat identical: %v\n\n", len(first), string(first) == string(second))
+
+	// 4. One verification layer on demand.
+	var chk server.CheckResponse
+	if err := json.Unmarshal(get(ts.URL, "/v1/check?layer=converter"), &chk); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("check layer %q: passed=%v (%d reports)\n\n", chk.Layer, chk.Passed, len(chk.Reports))
+
+	// 5. Live metrics: counters, pool depth, cache hit rates, latency
+	// quantiles from the streaming sketch.
+	var met server.MetricsSnapshot
+	if err := json.Unmarshal(get(ts.URL, "/metrics"), &met); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("requests=%d  2xx=%d  response-cache hits=%d misses=%d  pool workers=%d  p50=%.2fms p99=%.2fms\n",
+		met.Requests, met.Status2xx, met.ResponseCache.Hits, met.ResponseCache.Misses,
+		met.Pool.Workers, met.Latency.P50Ms, met.Latency.P99Ms)
+}

@@ -71,11 +71,19 @@ func ParseBackend(s string) (Backend, error) {
 }
 
 // defaultBackend is the backend used by Run/RunWithProgram and friends.
+//
+// Concurrency: this is the package's only mutable global. Simulations
+// themselves are safe to run concurrently — each Run call builds its own
+// simulator state and touches nothing shared — but SetDefaultBackend is an
+// unsynchronized write, so it must be called once at startup (the CLIs set
+// it from flags before any simulation starts) and never while simulations
+// are in flight. Concurrent callers that need differing backends pass one
+// explicitly to RunBackend instead; rbserve does exactly that.
 var defaultBackend = BackendEvent
 
 // SetDefaultBackend changes the backend used by the package-level Run
 // helpers (the cmd/rbsim and cmd/rbexp -sched flags). It returns the
-// previous default.
+// previous default. Call it during startup only; see defaultBackend.
 func SetDefaultBackend(b Backend) Backend {
 	old := defaultBackend
 	defaultBackend = b

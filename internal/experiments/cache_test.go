@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -9,8 +12,9 @@ import (
 )
 
 // TestResultCacheSingleflight proves concurrent misses on one cold cell
-// coalesce into exactly one simulation: 16 goroutines race runOne on a key
-// no other test uses, and the core.Run invocation counter moves by one.
+// coalesce into exactly one simulation: 32 goroutines race RunCell on a key
+// no other test uses, and the harness's simulation counter moves by one.
+// Run under -race this is also the cache's data-race gate.
 func TestResultCacheSingleflight(t *testing.T) {
 	w, ok := workload.ByName("compress")
 	if !ok {
@@ -19,8 +23,9 @@ func TestResultCacheSingleflight(t *testing.T) {
 	cfg := machine.NewIdeal(4)
 	cfg.Name = "singleflight-probe" // unique cache key: never shared with other tests
 
-	before := coreRuns.Load()
-	const racers = 16
+	h := NewHarness(1) // no pool: the cache alone must make RunCell concurrent-safe
+	defer h.Close()
+	const racers = 32
 	results := make([]interface{}, racers)
 	var wg sync.WaitGroup
 	var start sync.WaitGroup
@@ -30,7 +35,7 @@ func TestResultCacheSingleflight(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			start.Wait()
-			r, err := runOne(cfg, w)
+			r, err := h.RunCell(context.Background(), cfg, w)
 			if err != nil {
 				t.Error(err)
 				return
@@ -41,12 +46,92 @@ func TestResultCacheSingleflight(t *testing.T) {
 	start.Done()
 	wg.Wait()
 
-	if got := coreRuns.Load() - before; got != 1 {
-		t.Errorf("16 concurrent cold misses ran the simulation %d times, want 1", got)
+	if got := h.Runs(); got != 1 {
+		t.Errorf("32 concurrent cold misses ran the simulation %d times, want 1", got)
 	}
 	for i := 1; i < racers; i++ {
 		if results[i] != results[0] {
 			t.Errorf("racer %d got a different result pointer than racer 0", i)
 		}
+	}
+}
+
+// TestResultCacheConcurrentMixedKeys hammers the cell cache from 32
+// goroutines across several distinct cells at once: every cell must
+// simulate exactly once and every caller must observe the winner's pointer.
+func TestResultCacheConcurrentMixedKeys(t *testing.T) {
+	wls := workload.SPECint95()[:4]
+	var cfgs []machine.Config
+	for i := 0; i < 2; i++ {
+		c := machine.NewIdeal(4)
+		c.Name = fmt.Sprintf("hammer-probe-%d", i)
+		cfgs = append(cfgs, c)
+	}
+	h := NewHarness(1)
+	defer h.Close()
+
+	const racers = 32
+	type cell struct{ cfg, wl int }
+	got := make([]map[cell]interface{}, racers)
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			mine := make(map[cell]interface{})
+			for ci := range cfgs {
+				for wi, w := range wls {
+					r, err := h.RunCell(context.Background(), cfgs[ci], w)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					mine[cell{ci, wi}] = r
+				}
+			}
+			got[i] = mine
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+
+	want := int64(len(cfgs) * len(wls))
+	if runs := h.Runs(); runs != want {
+		t.Errorf("%d cells simulated %d times, want %d", want, runs, want)
+	}
+	for i := 1; i < racers; i++ {
+		for k, v := range got[0] {
+			if got[i][k] != v {
+				t.Errorf("racer %d observed a different pointer for cell %+v", i, k)
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSerialByteIdentical is the -parallel determinism
+// oracle: the same experiment rendered through a serial harness and a
+// maximally parallel one must be byte-identical (simulations are
+// deterministic; the pool only changes completion order, never content).
+func TestParallelMatchesSerialByteIdentical(t *testing.T) {
+	render := func(h *Harness) []byte {
+		t.Helper()
+		defer h.Close()
+		f, err := Figure12(context.Background(), h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := f.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	serial := render(NewHarness(1))
+	parallel := render(NewHarness(8))
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("parallel Figure 12 output differs from serial:\nserial:\n%s\nparallel:\n%s", serial, parallel)
 	}
 }

@@ -5,9 +5,18 @@
 // the limited-bypass harmonic-mean study (Figure 14), plus the headline
 // percentage claims of §5.2. See DESIGN.md §4 for the experiment index and
 // EXPERIMENTS.md for paper-vs-measured values.
+//
+// Every experiment entry point takes a context.Context and a Runner: the
+// Runner decides how the (machine, workload) cells of the experiment grid
+// are executed (serially, or fanned out over a bounded worker pool) and how
+// results are cached, so the rbexp CLI and the rbserve HTTP service drive
+// exactly the same code path. Simulations are deterministic, so the degree
+// of parallelism never changes a result — only how fast it arrives. A cell
+// simulation is not interruptible; cancellation is honored between cells.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -16,99 +25,173 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/pool"
+	"repro/internal/rcache"
 	"repro/internal/workload"
 )
 
-// resultCache memoizes simulation runs: every run is deterministic, and the
-// figures and the §5.2 summary reuse each other's cells. Each key holds a
-// cacheEntry whose sync.Once admits exactly one simulation per cell:
-// concurrent misses on the same key block on the winner's run instead of
-// duplicating it (a Load-compute-Store cache would let every racing caller
-// simulate the cell).
-var resultCache sync.Map // "machine|workload" -> *cacheEntry
-
-type cacheEntry struct {
-	once sync.Once
-	r    *core.Result
-	err  error
+// Runner executes the cells of an experiment grid.
+type Runner interface {
+	// RunCell simulates one (machine, workload) cell.
+	RunCell(ctx context.Context, cfg machine.Config, w *workload.Workload) (*core.Result, error)
+	// RunMatrix simulates every (config, workload) pair and returns results
+	// indexed by config name then workload name.
+	RunMatrix(ctx context.Context, cfgs []machine.Config, wls []*workload.Workload) (map[string]map[string]*core.Result, error)
 }
 
-// coreRuns counts actual simulations (cache fills), observable by tests to
-// prove concurrent misses coalesce into one run.
-var coreRuns atomic.Int64
+// Harness is the standard Runner: a sharded singleflight LRU over
+// simulation results (every run is deterministic, and the figures and the
+// §5.2 summary reuse each other's cells) in front of an optional bounded
+// worker pool. Concurrent misses on one cell coalesce into a single
+// simulation; with no pool, cells run inline in submission order — the
+// serial determinism oracle the -parallel flag exposes.
+type Harness struct {
+	pool  *pool.Pool    // nil: run cells inline, serially
+	cache *rcache.Cache // cell results, unit cost
+	runs  atomic.Int64  // simulations actually executed (cache fills)
+}
 
-// runOne simulates one (machine, workload) cell, memoized.
-func runOne(cfg machine.Config, w *workload.Workload) (*core.Result, error) {
+// NewHarness builds a private harness (its own cache) running up to
+// parallel cells concurrently; parallel <= 1 selects the inline serial
+// path, parallel == 0 defaults to GOMAXPROCS.
+func NewHarness(parallel int) *Harness {
+	if parallel == 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	h := &Harness{cache: rcache.New(8, 0)}
+	if parallel > 1 {
+		h.pool = pool.New(parallel, 0)
+	}
+	return h
+}
+
+// NewHarnessWith builds a harness over an existing pool and cache (the
+// rbserve service shares one pool and one cell cache across requests).
+// A nil pool means serial; a nil cache gets a private unbounded one.
+func NewHarnessWith(p *pool.Pool, c *rcache.Cache) *Harness {
+	if c == nil {
+		c = rcache.New(8, 0)
+	}
+	return &Harness{pool: p, cache: c}
+}
+
+// defaultHarness serves the package's zero-configuration callers (tests,
+// benchmarks): shared cache, GOMAXPROCS pool.
+var (
+	defaultHarness     *Harness
+	defaultHarnessOnce sync.Once
+)
+
+// Default returns the process-wide shared harness.
+func Default() *Harness {
+	defaultHarnessOnce.Do(func() {
+		defaultHarness = NewHarness(0)
+	})
+	return defaultHarness
+}
+
+// Close releases the harness's worker pool (shared pools passed to
+// NewHarnessWith are the owner's to close).
+func (h *Harness) Close() {
+	if h.pool != nil {
+		h.pool.Close()
+	}
+}
+
+// Runs counts the simulations this harness actually executed (cache
+// misses); tests use it to prove concurrent misses coalesce.
+func (h *Harness) Runs() int64 { return h.runs.Load() }
+
+// CacheStats exposes the cell cache counters (the server's /metrics).
+func (h *Harness) CacheStats() rcache.Stats { return h.cache.Stats() }
+
+// RunCell simulates one (machine, workload) cell, memoized: concurrent
+// misses on the same cell block on the winner's simulation instead of
+// duplicating it.
+func (h *Harness) RunCell(ctx context.Context, cfg machine.Config, w *workload.Workload) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	key := cfg.Name + "|" + w.Name
-	e, _ := resultCache.LoadOrStore(key, &cacheEntry{})
-	entry := e.(*cacheEntry)
-	entry.once.Do(func() {
-		coreRuns.Add(1)
+	v, _, err := h.cache.Do(ctx, key, func() (any, int64, error) {
+		h.runs.Add(1)
 		trace, err := w.Trace()
 		if err != nil {
-			entry.err = err
-			return
+			return nil, 0, err
 		}
 		r, err := core.Run(cfg, w.Name, trace)
 		if err != nil {
-			entry.err = fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
-			return
+			return nil, 0, fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
 		}
-		entry.r = r
+		return r, 1, nil
 	})
-	return entry.r, entry.err
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Result), nil
 }
 
-// runMatrix simulates every (config, workload) pair in parallel and returns
-// results indexed by config name then workload name.
-func runMatrix(cfgs []machine.Config, wls []*workload.Workload) (map[string]map[string]*core.Result, error) {
-	type job struct {
-		cfg machine.Config
-		w   *workload.Workload
-	}
-	jobs := make(chan job)
-	var mu sync.Mutex
+// RunMatrix simulates every (config, workload) pair — through the worker
+// pool when the harness has one, inline otherwise — and returns results
+// indexed by config name then workload name.
+func (h *Harness) RunMatrix(ctx context.Context, cfgs []machine.Config, wls []*workload.Workload) (map[string]map[string]*core.Result, error) {
 	out := make(map[string]map[string]*core.Result, len(cfgs))
 	for _, c := range cfgs {
 		out[c.Name] = make(map[string]*core.Result, len(wls))
 	}
-	var firstErr error
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cfgs)*len(wls) {
-		workers = len(cfgs) * len(wls)
-	}
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				r, err := runOne(j.cfg, j.w)
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
+	if h.pool == nil {
+		for _, c := range cfgs {
+			for _, w := range wls {
+				r, err := h.RunCell(ctx, c, w)
+				if err != nil {
+					return nil, err
 				}
-				if err == nil {
-					out[j.cfg.Name][j.w.Name] = r
-				}
-				mu.Unlock()
+				out[c.Name][w.Name] = r
 			}
-		}()
+		}
+		return out, nil
 	}
 	// Pre-trace workloads serially: traces are cached and shared between
 	// cells, and doing it here avoids duplicate work behind the cache mutex.
 	for _, w := range wls {
 		if _, err := w.Trace(); err != nil {
-			close(jobs)
 			return nil, err
 		}
 	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+submit:
 	for _, c := range cfgs {
 		for _, w := range wls {
-			jobs <- job{cfg: c, w: w}
+			c, w := c, w
+			wg.Add(1)
+			err := h.pool.Submit(ctx, func() {
+				defer wg.Done()
+				r, err := h.RunCell(ctx, c, w)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				out[c.Name][w.Name] = r
+			})
+			if err != nil {
+				wg.Done()
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				break submit
+			}
 		}
 	}
-	close(jobs)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr

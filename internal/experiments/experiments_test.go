@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,9 +15,9 @@ import (
 // paper (synthetic workloads, trace-driven core); the bands here encode what
 // must hold for the reproduction to support the paper's conclusions.
 
-func ipcFig(t *testing.T, fn func() (*IPCFigure, error)) *IPCFigure {
+func ipcFig(t *testing.T, fn func(context.Context, Runner) (*IPCFigure, error)) *IPCFigure {
 	t.Helper()
-	f, err := fn()
+	f, err := fn(context.Background(), Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func ipcFig(t *testing.T, fn func() (*IPCFigure, error)) *IPCFigure {
 func TestIPCFiguresShape(t *testing.T) {
 	figs := []struct {
 		name string
-		fn   func() (*IPCFigure, error)
+		fn   func(context.Context, Runner) (*IPCFigure, error)
 	}{
 		{"Figure9", Figure9}, {"Figure10", Figure10}, {"Figure11", Figure11}, {"Figure12", Figure12},
 	}
@@ -68,7 +69,7 @@ func TestIPCFiguresShape(t *testing.T) {
 }
 
 func TestSummaryMatchesPaperBands(t *testing.T) {
-	s, err := ComputeSummary()
+	s, err := ComputeSummary(context.Background(), Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestSummaryMatchesPaperBands(t *testing.T) {
 }
 
 func TestFigure13Shape(t *testing.T) {
-	d, err := Figure13()
+	d, err := Figure13(context.Background(), Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestFigure13Shape(t *testing.T) {
 }
 
 func TestFigure14Shape(t *testing.T) {
-	d, err := Figure14()
+	d, err := Figure14(context.Background(), Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestTable1Measurement(t *testing.T) {
 
 func TestRenderersProduceOutput(t *testing.T) {
 	var b strings.Builder
-	f, err := Figure9()
+	f, err := Figure9(context.Background(), Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestRenderersProduceOutput(t *testing.T) {
 		t.Errorf("table 3 render missing RB latency cell: %v", err)
 	}
 	b.Reset()
-	s, err := ComputeSummary()
+	s, err := ComputeSummary(context.Background(), Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,21 +236,22 @@ func TestRenderersProduceOutput(t *testing.T) {
 func TestResultCacheIsStable(t *testing.T) {
 	w, _ := workload.ByName("compress")
 	cfg := machine.NewIdeal(8)
-	a, err := runOne(cfg, w)
+	ctx := context.Background()
+	a, err := Default().RunCell(ctx, cfg, w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := runOne(cfg, w)
+	b, err := Default().RunCell(ctx, cfg, w)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
-		t.Error("runOne did not return the cached result")
+		t.Error("RunCell did not return the cached result")
 	}
 }
 
 func TestFigure1Throughput(t *testing.T) {
-	d, err := Figure1()
+	d, err := Figure1(context.Background(), Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +280,7 @@ func TestFigure1Throughput(t *testing.T) {
 }
 
 func TestSweeps(t *testing.T) {
-	d, err := Sweeps()
+	d, err := Sweeps(context.Background(), Default())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -42,7 +43,7 @@ type Figure1Data struct {
 }
 
 // Figure1 runs the three-configuration comparison.
-func Figure1() (*Figure1Data, error) {
+func Figure1(ctx context.Context, r Runner) (*Figure1Data, error) {
 	// Measure the adders. The CLA's depth sets configuration A's cycle; the
 	// RB adder's depth sets the fast cycle of configurations B and C (the
 	// paper's Pentium 4 example: the ALU latency set the core clock).
@@ -94,7 +95,7 @@ func Figure1() (*Figure1Data, error) {
 	for _, name := range d.Order {
 		list = append(list, cfgs[name])
 	}
-	results, err := runMatrix(list, wls)
+	results, err := r.RunMatrix(ctx, list, wls)
 	if err != nil {
 		return nil, err
 	}

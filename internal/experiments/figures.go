@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -30,9 +31,9 @@ type IPCFigure struct {
 }
 
 // ipcFigure runs one IPC figure.
-func ipcFigure(id, title string, width int, suite string) (*IPCFigure, error) {
+func ipcFigure(ctx context.Context, r Runner, id, title string, width int, suite string) (*IPCFigure, error) {
 	wls := suiteWorkloads(suite)
-	results, err := runMatrix(machine.All(width), wls)
+	results, err := r.RunMatrix(ctx, machine.All(width), wls)
 	if err != nil {
 		return nil, err
 	}
@@ -56,24 +57,32 @@ func ipcFigure(id, title string, width int, suite string) (*IPCFigure, error) {
 	return f, nil
 }
 
+// IPCComparison is the generic width/suite-parameterized IPC comparison
+// behind the figures; rbserve's /v1/experiment/ipc endpoint exposes it so
+// clients can request cells the paper does not plot.
+func IPCComparison(ctx context.Context, r Runner, width int, suite string) (*IPCFigure, error) {
+	title := fmt.Sprintf("IPC of %d-wide machines, %s", width, suite)
+	return ipcFigure(ctx, r, fmt.Sprintf("IPC %d-wide %s", width, suite), title, width, suite)
+}
+
 // Figure9 is the 8-wide SPECint2000 IPC comparison.
-func Figure9() (*IPCFigure, error) {
-	return ipcFigure("Figure 9", "IPC of 8-wide machines, SPECint2000", 8, "SPECint2000")
+func Figure9(ctx context.Context, r Runner) (*IPCFigure, error) {
+	return ipcFigure(ctx, r, "Figure 9", "IPC of 8-wide machines, SPECint2000", 8, "SPECint2000")
 }
 
 // Figure10 is the 8-wide SPECint95 IPC comparison.
-func Figure10() (*IPCFigure, error) {
-	return ipcFigure("Figure 10", "IPC of 8-wide machines, SPECint95", 8, "SPECint95")
+func Figure10(ctx context.Context, r Runner) (*IPCFigure, error) {
+	return ipcFigure(ctx, r, "Figure 10", "IPC of 8-wide machines, SPECint95", 8, "SPECint95")
 }
 
 // Figure11 is the 4-wide SPECint2000 IPC comparison.
-func Figure11() (*IPCFigure, error) {
-	return ipcFigure("Figure 11", "IPC of 4-wide machines, SPECint2000", 4, "SPECint2000")
+func Figure11(ctx context.Context, r Runner) (*IPCFigure, error) {
+	return ipcFigure(ctx, r, "Figure 11", "IPC of 4-wide machines, SPECint2000", 4, "SPECint2000")
 }
 
 // Figure12 is the 4-wide SPECint95 IPC comparison.
-func Figure12() (*IPCFigure, error) {
-	return ipcFigure("Figure 12", "IPC of 4-wide machines, SPECint95", 4, "SPECint95")
+func Figure12(ctx context.Context, r Runner) (*IPCFigure, error) {
+	return ipcFigure(ctx, r, "Figure 12", "IPC of 4-wide machines, SPECint95", 4, "SPECint95")
 }
 
 // Render writes the figure as a table with ASCII bars.
@@ -129,7 +138,7 @@ type Figure13Data struct {
 }
 
 // Figure13 runs the bypass-case measurement.
-func Figure13() (*Figure13Data, error) {
+func Figure13(ctx context.Context, r Runner) (*Figure13Data, error) {
 	wls := suiteWorkloads("SPECint2000")
 	cfg := machine.NewRBFull(8)
 	d := &Figure13Data{
@@ -138,7 +147,7 @@ func Figure13() (*Figure13Data, error) {
 		CaseFrac:       map[string][core.NumBypassCases]float64{},
 		FracConversion: map[string]float64{},
 	}
-	results, err := runMatrix([]machine.Config{cfg}, wls)
+	results, err := r.RunMatrix(ctx, []machine.Config{cfg}, wls)
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +213,7 @@ type Figure14Data struct {
 }
 
 // Figure14 runs the limited-bypass study.
-func Figure14() (*Figure14Data, error) {
+func Figure14(ctx context.Context, r Runner) (*Figure14Data, error) {
 	wls := workload.All()
 	d := &Figure14Data{
 		HMean:     map[int]map[string]float64{},
@@ -218,7 +227,7 @@ func Figure14() (*Figure14Data, error) {
 		for _, bp := range Figure14Configs() {
 			cfgs = append(cfgs, machine.NewIdealLimited(width, bp))
 		}
-		results, err := runMatrix(cfgs, wls)
+		results, err := r.RunMatrix(ctx, cfgs, wls)
 		if err != nil {
 			return nil, err
 		}
@@ -348,15 +357,15 @@ type SummaryRow struct {
 }
 
 // ComputeSummary derives the headline percentages.
-func ComputeSummary() (*Summary, error) {
+func ComputeSummary(ctx context.Context, r Runner) (*Summary, error) {
 	figs := map[string]*IPCFigure{}
 	for _, f := range []struct {
 		name string
-		fn   func() (*IPCFigure, error)
+		fn   func(context.Context, Runner) (*IPCFigure, error)
 	}{
 		{"f9", Figure9}, {"f10", Figure10}, {"f11", Figure11}, {"f12", Figure12},
 	} {
-		fig, err := f.fn()
+		fig, err := f.fn(ctx, r)
 		if err != nil {
 			return nil, err
 		}

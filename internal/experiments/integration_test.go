@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -58,7 +59,7 @@ func TestAllMachinesAllWorkloadsComplete(t *testing.T) {
 			cfgs = append(cfgs, machine.NewIdealLimited(width, bp))
 		}
 	}
-	results, err := runMatrix(cfgs, workload.All())
+	results, err := Default().RunMatrix(context.Background(), cfgs, workload.All())
 	if err != nil {
 		t.Fatal(err)
 	}

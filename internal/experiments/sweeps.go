@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -41,7 +42,7 @@ func sweepPair(width, window int) []machine.Config {
 }
 
 // Sweeps runs both sensitivity studies.
-func Sweeps() (*SweepData, error) {
+func Sweeps(ctx context.Context, r Runner) (*SweepData, error) {
 	d := &SweepData{
 		Windows:    []int{32, 64, 128, 256},
 		WindowGain: map[int]float64{},
@@ -62,7 +63,7 @@ func Sweeps() (*SweepData, error) {
 		}
 		cfgs = append(cfgs, sweepPair(width, 128)...)
 	}
-	results, err := runMatrix(cfgs, wls)
+	results, err := r.RunMatrix(ctx, cfgs, wls)
 	if err != nil {
 		return nil, err
 	}

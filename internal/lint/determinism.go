@@ -43,6 +43,10 @@ var Determinism = &Analyzer{
 var determinismScope = map[string]bool{
 	"core": true, "sched": true, "bypass": true, "machine": true,
 	"experiments": true, "stats": true, "check": true,
+	// The serving layer sits on top of the simulator and must not smuggle
+	// nondeterminism into it: wall-clock reads are legal only for service
+	// metrics (request latency, uptime) and carry allow directives.
+	"server": true, "pool": true, "rcache": true,
 }
 
 // wallClockFuncs are the time package functions that read or depend on the

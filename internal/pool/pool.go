@@ -1,0 +1,134 @@
+// Package pool provides the bounded worker pool shared by the experiment
+// harness and the rbserve service: a fixed set of worker goroutines draining
+// a FIFO task queue. One pool per process bounds simulator concurrency at
+// GOMAXPROCS no matter how many experiments (or HTTP requests) fan out cells
+// into it, and its queue depth is the backpressure signal the server's
+// /metrics endpoint and 429 admission control read.
+package pool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("pool: closed")
+
+// Pool is a fixed-size worker pool over a bounded FIFO queue. Tasks must not
+// submit to the pool they run on (all workers could then be blocked waiting
+// on queue space held up by their own descendants); the experiment harness
+// obeys this by fanning out only leaf (machine, workload) cells.
+type Pool struct {
+	queue   chan func()
+	workers int
+
+	wg sync.WaitGroup
+	// mu guards done and, as a read lock, every send on queue: Close takes
+	// the write lock before closing the channel, so no Submit can be
+	// mid-send on a closed channel.
+	mu   sync.RWMutex
+	done bool
+
+	depth     atomic.Int64 // queued + executing tasks
+	submitted atomic.Int64
+	completed atomic.Int64
+}
+
+// New starts a pool with the given number of workers and queue capacity.
+// workers <= 0 defaults to GOMAXPROCS; queueCap <= 0 defaults to 64 slots
+// per worker.
+func New(workers, queueCap int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueCap <= 0 {
+		queueCap = 64 * workers
+	}
+	p := &Pool{
+		queue:   make(chan func(), queueCap),
+		workers: workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for fn := range p.queue {
+		fn()
+		p.completed.Add(1)
+		p.depth.Add(-1)
+	}
+}
+
+// Submit enqueues fn, blocking while the queue is full. It returns ctx.Err()
+// if the context is done before the task is accepted, and ErrClosed after
+// Close. A nil error guarantees fn will run.
+func (p *Pool) Submit(ctx context.Context, fn func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.done {
+		return ErrClosed
+	}
+	// Count the task before the send: a worker can pop and finish it the
+	// instant it lands, and the decrement must not precede the increment.
+	p.depth.Add(1)
+	select {
+	case p.queue <- fn:
+		p.submitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		p.depth.Add(-1)
+		return ctx.Err()
+	}
+}
+
+// TrySubmit enqueues fn without blocking and reports whether it was
+// accepted. It is the admission-control primitive: a false return means the
+// queue is saturated and the caller should shed load.
+func (p *Pool) TrySubmit(fn func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.done {
+		return false
+	}
+	p.depth.Add(1)
+	select {
+	case p.queue <- fn:
+		p.submitted.Add(1)
+		return true
+	default:
+		p.depth.Add(-1)
+		return false
+	}
+}
+
+// Workers is the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Depth is the number of tasks queued or executing.
+func (p *Pool) Depth() int64 { return p.depth.Load() }
+
+// Submitted is the number of tasks ever accepted.
+func (p *Pool) Submitted() int64 { return p.submitted.Load() }
+
+// Completed is the number of tasks that have finished.
+func (p *Pool) Completed() int64 { return p.completed.Load() }
+
+// Close stops accepting tasks, drains the queue, and waits for the workers
+// to exit. It is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.done {
+		p.done = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

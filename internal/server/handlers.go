@@ -1,0 +1,432 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/bypass"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// artifactResult is anything an experiment endpoint can serve: every
+// experiment data structure renders itself as the CLI's text table and
+// JSON-marshals through its exported fields.
+type artifactResult interface {
+	Render(w io.Writer) error
+}
+
+// textArtifact adapts the pre-rendered configuration tables (2 and 3).
+type textArtifact struct {
+	Title string `json:"title"`
+	Text  string `json:"text"`
+}
+
+func (t textArtifact) Render(w io.Writer) error {
+	_, err := io.WriteString(w, t.Text)
+	return err
+}
+
+// artifactNames lists the /v1/experiment/{name} artifacts (sorted; "ipc"
+// is the generic width/suite-parameterized comparison).
+var artifactNames = []string{
+	"fig1", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+	"ipc", "sweeps", "summary", "table1", "table2", "table3",
+}
+
+// runArtifact executes one named experiment through the shared harness.
+func (s *Server) runArtifact(ctx context.Context, name string, width int, suite string) (artifactResult, error) {
+	switch name {
+	case "fig1":
+		return experiments.Figure1(ctx, s.harness)
+	case "fig9":
+		return experiments.Figure9(ctx, s.harness)
+	case "fig10":
+		return experiments.Figure10(ctx, s.harness)
+	case "fig11":
+		return experiments.Figure11(ctx, s.harness)
+	case "fig12":
+		return experiments.Figure12(ctx, s.harness)
+	case "fig13":
+		return experiments.Figure13(ctx, s.harness)
+	case "fig14":
+		return experiments.Figure14(ctx, s.harness)
+	case "ipc":
+		return experiments.IPCComparison(ctx, s.harness, width, suite)
+	case "sweeps":
+		return experiments.Sweeps(ctx, s.harness)
+	case "summary":
+		return experiments.ComputeSummary(ctx, s.harness)
+	case "table1":
+		return experiments.Table1()
+	case "table2":
+		return renderedTable("Table 2. Machine configuration", experiments.RenderTable2)
+	case "table3":
+		return renderedTable("Table 3. Instruction class latencies", experiments.RenderTable3)
+	}
+	return nil, fmt.Errorf("unknown artifact %q (have %s)", name, strings.Join(artifactNames, ", "))
+}
+
+func renderedTable(title string, render func(io.Writer) error) (artifactResult, error) {
+	var b bytes.Buffer
+	if err := render(&b); err != nil {
+		return nil, err
+	}
+	return textArtifact{Title: title, Text: b.String()}, nil
+}
+
+// cachedResponse is a fully rendered response body in the LRU.
+type cachedResponse struct {
+	body        []byte
+	contentType string
+}
+
+// serveCached runs compute through the response cache and writes the
+// resulting body; concurrent identical requests coalesce onto one
+// computation and repeats are served from memory.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func() (cachedResponse, error)) {
+	v, _, err := s.resp.Do(r.Context(), key, func() (any, int64, error) {
+		cr, err := compute()
+		if err != nil {
+			return nil, 0, err
+		}
+		return cr, int64(len(cr.body)), nil
+	})
+	if err != nil {
+		s.failRequest(w, r, err)
+		return
+	}
+	cr := v.(cachedResponse)
+	w.Header().Set("Content-Type", cr.contentType)
+	w.Write(cr.body)
+}
+
+// handleExperiment serves one paper artifact:
+//
+//	GET /v1/experiment/fig9?format=text
+//	GET /v1/experiment/ipc?width=4&suite=SPECint95
+//
+// format=json (default) returns the artifact's data structure; format=text
+// returns byte-identical output to `rbexp -exp <name>`.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	q := r.URL.Query()
+	format := q.Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if format != "json" && format != "text" {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (want json or text)", format))
+		return
+	}
+	known := false
+	for _, n := range artifactNames {
+		if n == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("unknown artifact %q (have %s)", name, strings.Join(artifactNames, ", ")))
+		return
+	}
+	width, suite := 8, "SPECint2000"
+	if name == "ipc" {
+		var err error
+		if width, err = intParam(q.Get("width"), 8); err != nil {
+			writeError(w, http.StatusBadRequest, "bad width: "+err.Error())
+			return
+		}
+		switch width {
+		case 2, 4, 8, 16:
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("unsupported width %d (want 2, 4, 8, or 16)", width))
+			return
+		}
+		if suite = q.Get("suite"); suite == "" {
+			suite = "SPECint2000"
+		}
+		switch suite {
+		case "SPECint95", "SPECint2000", "all":
+		default:
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("unknown suite %q (want SPECint95, SPECint2000, or all)", suite))
+			return
+		}
+	}
+	key := strings.Join([]string{"exp", name, strconv.Itoa(width), suite, format}, "|")
+	s.serveCached(w, r, key, func() (cachedResponse, error) {
+		res, err := s.runArtifact(r.Context(), name, width, suite)
+		if err != nil {
+			return cachedResponse{}, err
+		}
+		if format == "text" {
+			var b bytes.Buffer
+			if err := res.Render(&b); err != nil {
+				return cachedResponse{}, err
+			}
+			// Trailing blank line matches rbexp's per-artifact println, so
+			// `diff <(rbexp -exp fig9) <(curl .../fig9?format=text)` is empty.
+			b.WriteByte('\n')
+			return cachedResponse{body: b.Bytes(), contentType: "text/plain; charset=utf-8"}, nil
+		}
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return cachedResponse{}, err
+		}
+		return cachedResponse{body: append(b, '\n'), contentType: "application/json"}, nil
+	})
+}
+
+// SimResponse is the /v1/sim body: the raw result plus its derived rates.
+type SimResponse struct {
+	*core.Result
+	IPC            float64 `json:"ipc"`
+	MispredictRate float64 `json:"mispredict_rate"`
+	AvgOccupancy   float64 `json:"avg_occupancy"`
+	Backend        string  `json:"backend"`
+}
+
+// handleSim runs one workload on one machine model:
+//
+//	GET /v1/sim?workload=compress&machine=rb-full&width=8
+//	GET /v1/sim?workload=mcf&machine=ideal&no-bypass-levels=1,2&check=true
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	wlName := q.Get("workload")
+	if wlName == "" {
+		writeError(w, http.StatusBadRequest, "missing workload parameter")
+		return
+	}
+	wl, ok := workload.ByName(wlName)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown workload %q (see /v1/workloads)", wlName))
+		return
+	}
+	machName := strings.ToLower(q.Get("machine"))
+	if machName == "" {
+		machName = "ideal"
+	}
+	width, err := intParam(q.Get("width"), 8)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad width: "+err.Error())
+		return
+	}
+	cfg, err := machine.ByName(machName, width)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	noLevels := q.Get("no-bypass-levels")
+	if noLevels != "" {
+		bp := bypass.Full()
+		for _, f := range strings.Split(noLevels, ",") {
+			lvl, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || lvl < 1 || lvl > bypass.NumLevels {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("bad bypass level %q", f))
+				return
+			}
+			bp = bp.Without(lvl)
+		}
+		cfg = machine.NewIdealLimited(width, bp)
+	}
+	datapathCheck, err := boolParam(q.Get("check"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad check: "+err.Error())
+		return
+	}
+	wrongPath, err := boolParam(q.Get("wrong-path"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad wrong-path: "+err.Error())
+		return
+	}
+	schedName := q.Get("sched")
+	if schedName == "" {
+		schedName = core.BackendEvent.String()
+	}
+	backend, err := core.ParseBackend(schedName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfg.DatapathCheck = datapathCheck
+	cfg.ModelWrongPath = wrongPath
+
+	key := strings.Join([]string{
+		"sim", cfg.Name, wl.Name, noLevels,
+		strconv.FormatBool(datapathCheck), strconv.FormatBool(wrongPath), backend.String(),
+	}, "|")
+	s.serveCached(w, r, key, func() (cachedResponse, error) {
+		trace, err := wl.Trace()
+		if err != nil {
+			return cachedResponse{}, err
+		}
+		var (
+			res  *core.Result
+			rerr error
+		)
+		if err := s.runInPool(r.Context(), func() {
+			res, rerr = core.RunBackend(cfg, wl.Name, trace, backend)
+		}); err != nil {
+			return cachedResponse{}, err
+		}
+		if rerr != nil {
+			return cachedResponse{}, rerr
+		}
+		body, err := json.MarshalIndent(SimResponse{
+			Result:         res,
+			IPC:            res.IPC(),
+			MispredictRate: res.MispredictRate(),
+			AvgOccupancy:   res.AvgOccupancy(),
+			Backend:        backend.String(),
+		}, "", "  ")
+		if err != nil {
+			return cachedResponse{}, err
+		}
+		return cachedResponse{body: append(body, '\n'), contentType: "application/json"}, nil
+	})
+}
+
+// CheckResponse is the /v1/check body.
+type CheckResponse struct {
+	Layer   string         `json:"layer"`
+	Full    bool           `json:"full"`
+	Seed    int64          `json:"seed"`
+	Passed  bool           `json:"passed"`
+	Reports []check.Report `json:"reports"`
+}
+
+// checkLayers dispatches one verification layer by name; "all" runs the
+// whole suite.
+func checkLayer(layer string, opts check.Options) ([]check.Report, error) {
+	switch layer {
+	case "all":
+		return check.Run(opts), nil
+	case "oracle":
+		return check.Oracle(opts), nil
+	case "invariants":
+		return check.Invariants(opts), nil
+	case "backends":
+		return check.Backends(opts), nil
+	case "adders":
+		return check.Adders(opts), nil
+	case "converter":
+		return check.Converter(opts), nil
+	case "ops":
+		return check.Ops(opts), nil
+	}
+	return nil, fmt.Errorf("unknown layer %q (want all, oracle, invariants, backends, adders, converter, or ops)", layer)
+}
+
+// handleCheck runs the differential verification suite on demand:
+//
+//	GET /v1/check?layer=adders
+//	GET /v1/check?layer=all&full=true&seed=7
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	layer := q.Get("layer")
+	if layer == "" {
+		layer = "all"
+	}
+	full, err := boolParam(q.Get("full"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad full: "+err.Error())
+		return
+	}
+	var seed int64
+	if v := q.Get("seed"); v != "" {
+		seed, err = strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad seed: "+err.Error())
+			return
+		}
+	}
+	switch layer {
+	case "all", "oracle", "invariants", "backends", "adders", "converter", "ops":
+	default:
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("unknown layer %q (want all, oracle, invariants, backends, adders, converter, or ops)", layer))
+		return
+	}
+	key := strings.Join([]string{"check", layer, strconv.FormatBool(full), strconv.FormatInt(seed, 10)}, "|")
+	s.serveCached(w, r, key, func() (cachedResponse, error) {
+		opts := check.Options{Full: full, Seed: seed}
+		var (
+			reports []check.Report
+			lerr    error
+		)
+		if err := s.runInPool(r.Context(), func() {
+			reports, lerr = checkLayer(layer, opts)
+		}); err != nil {
+			return cachedResponse{}, err
+		}
+		if lerr != nil {
+			return cachedResponse{}, lerr
+		}
+		body, err := json.MarshalIndent(CheckResponse{
+			Layer: layer, Full: full, Seed: seed,
+			Passed: check.Passed(reports), Reports: reports,
+		}, "", "  ")
+		if err != nil {
+			return cachedResponse{}, err
+		}
+		return cachedResponse{body: append(body, '\n'), contentType: "application/json"}, nil
+	})
+}
+
+// WorkloadInfo is one entry of the /v1/workloads listing.
+type WorkloadInfo struct {
+	Name        string `json:"name"`
+	Suite       string `json:"suite"`
+	Description string `json:"description"`
+}
+
+// handleWorkloads lists the 20 synthetic benchmarks.
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	var out []WorkloadInfo
+	for _, wl := range workload.All() {
+		out = append(out, WorkloadInfo{Name: wl.Name, Suite: wl.Suite, Description: wl.Description})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// runInPool executes fn on the shared worker pool and waits for it,
+// bounding request CPU at the pool's width. Submission respects ctx; once
+// running, fn is not interruptible (simulations have no abort points).
+func (s *Server) runInPool(ctx context.Context, fn func()) error {
+	done := make(chan struct{})
+	if err := s.pool.Submit(ctx, func() {
+		defer close(done)
+		fn()
+	}); err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
+// intParam parses an optional integer query parameter.
+func intParam(v string, def int) (int, error) {
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}
+
+// boolParam parses an optional boolean query parameter (default false).
+func boolParam(v string) (bool, error) {
+	if v == "" {
+		return false, nil
+	}
+	return strconv.ParseBool(v)
+}

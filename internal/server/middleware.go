@@ -1,0 +1,109 @@
+package server
+
+// Robustness middleware: panic recovery, latency metrics, admission
+// control, and per-request deadlines. Wall-clock reads here are allowlisted
+// — they time the service, not the simulator (see internal/lint determinism
+// rule).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// statusWriter captures the response status and whether anything was
+// written, so the recovery middleware knows if it can still emit an error
+// body.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if !w.wrote {
+		w.status = status
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.status = http.StatusOK
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// observed wraps every route: it recovers panics into 500s (a crashed
+// simulation must not take the process down), counts the request, and feeds
+// its latency into the quantile sketch.
+func (s *Server) observed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		s.met.requests.Add(1)
+		s.met.inflight.Add(1)
+		start := time.Now() //rblint:allow determinism
+		defer func() {
+			if p := recover(); p != nil {
+				s.met.panics.Add(1)
+				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError,
+						fmt.Sprintf("internal error: %v", p))
+				}
+				sw.status = http.StatusInternalServerError
+			}
+			s.met.inflight.Add(-1)
+			s.met.observe(sw.status, time.Since(start).Seconds()) //rblint:allow determinism
+		}()
+		h(sw, r)
+	}
+}
+
+// limited gates the heavy /v1 routes behind admission control and a
+// per-request deadline: when MaxInflight requests are already running, the
+// request is shed immediately with 429 + Retry-After rather than queued
+// into an unbounded pile-up (the worker pool behind the handlers is the
+// actual CPU bound; this cap bounds the waiters).
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.met.rejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			writeError(w, http.StatusTooManyRequests, "server saturated; retry later")
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// retryAfterSeconds is the hint sent with 429 responses.
+const retryAfterSeconds = 1
+
+// failRequest maps a handler error to a response: context deadline
+// exhaustion becomes 504 (the work itself cannot be aborted mid-cell, but
+// the client stops waiting), cancellation 499-style 503, everything else
+// 400 — by the time a request reaches the simulator, invalid parameters are
+// the only expected failure.
+func (s *Server) failRequest(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request canceled")
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}

@@ -1,0 +1,134 @@
+// Package server implements rbserve: the repository's engines — the
+// experiment harness (paper §5 figures and tables), the cycle-level
+// simulator, and the differential check suite — exposed as a concurrent
+// HTTP service on the standard library only.
+//
+// Layering (DESIGN.md §11):
+//
+//	handlers     /v1/experiment/{...}, /v1/sim, /v1/check, /v1/workloads,
+//	             /healthz, /metrics, /debug/pprof
+//	caching      a sharded cost-bounded LRU over rendered responses
+//	             (internal/rcache) in front of the experiment harness's
+//	             sharded cell cache; both dedup concurrent misses
+//	execution    one bounded worker pool (internal/pool, GOMAXPROCS-sized)
+//	             that every simulation cell funnels through, shared with
+//	             the experiments harness so HTTP traffic and rbexp-style
+//	             matrix fan-out obey a single CPU bound
+//	robustness   admission control (429 + Retry-After once MaxInflight
+//	             requests are active), per-request deadlines, panic
+//	             recovery into logged 500s, and graceful drain in
+//	             cmd/rbserve
+//
+// Simulations are deterministic functions of their parameters, which is
+// what makes aggressive caching sound: a cached response is bit-identical
+// to a fresh one, and rbserve's text rendering of an experiment is
+// byte-identical to rbexp's for the same parameters (scripts/ci.sh gates
+// on exactly that diff).
+package server
+
+import (
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/pool"
+	"repro/internal/rcache"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Parallel is the worker pool size bounding concurrent simulation
+	// cells; 0 means GOMAXPROCS.
+	Parallel int
+	// MaxInflight caps concurrently admitted /v1 requests; excess requests
+	// are shed with 429 + Retry-After. 0 means 2*Parallel (minimum 4).
+	MaxInflight int
+	// RequestTimeout is the per-request deadline for /v1 routes; 0 means
+	// 2 minutes. Cancellation is honored between simulation cells (a cell
+	// is not interruptible).
+	RequestTimeout time.Duration
+	// CacheBytes budgets the rendered-response LRU; 0 means 64 MiB.
+	CacheBytes int64
+	// Logf receives panic and lifecycle logs; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Server is one rbserve instance. Create with New, mount Handler, Close
+// when done.
+type Server struct {
+	cfg     Config
+	pool    *pool.Pool
+	harness *experiments.Harness
+	resp    *rcache.Cache
+	met     *metrics
+	sem     chan struct{} // admission-control slots for /v1 routes
+	mux     *http.ServeMux
+	logf    func(format string, args ...any)
+}
+
+// New builds a server from cfg (zero value = sensible defaults).
+func New(cfg Config) *Server {
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2 * cfg.Parallel
+		if cfg.MaxInflight < 4 {
+			cfg.MaxInflight = 4
+		}
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Minute
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	s := &Server{
+		cfg:  cfg,
+		pool: pool.New(cfg.Parallel, 0),
+		resp: rcache.New(16, cfg.CacheBytes),
+		met:  newMetrics(),
+		sem:  make(chan struct{}, cfg.MaxInflight),
+		logf: cfg.Logf,
+	}
+	if s.logf == nil {
+		s.logf = log.Printf
+	}
+	s.harness = experiments.NewHarnessWith(s.pool, nil)
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler is the fully wired route tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains and stops the worker pool.
+func (s *Server) Close() { s.pool.Close() }
+
+// routes mounts every endpoint. /healthz and /metrics bypass admission
+// control — they must answer even when the simulation queue is saturated —
+// while every /v1 route is observed, limited, and deadline-bounded.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.observed(s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.observed(s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/workloads", s.observed(s.handleWorkloads))
+	s.mux.HandleFunc("GET /v1/experiment/{name}", s.observed(s.limited(s.handleExperiment)))
+	s.mux.HandleFunc("GET /v1/sim", s.observed(s.limited(s.handleSim)))
+	s.mux.HandleFunc("GET /v1/check", s.observed(s.limited(s.handleCheck)))
+	// Live profiling of the serving process (README "Profiling the
+	// simulator"); pprof handlers stream and manage their own timeouts.
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}

@@ -12,14 +12,15 @@ import (
 )
 
 // HarmonicMean returns the harmonic mean of xs (0 if empty or if any value
-// is nonpositive, which would make the mean undefined).
+// is nonpositive, NaN, or infinite, all of which would make the mean
+// undefined).
 func HarmonicMean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	var inv float64
 	for _, x := range xs {
-		if x <= 0 {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
 			return 0
 		}
 		inv += 1 / x
@@ -27,13 +28,17 @@ func HarmonicMean(xs []float64) float64 {
 	return float64(len(xs)) / inv
 }
 
-// ArithmeticMean returns the mean of xs (0 if empty).
+// ArithmeticMean returns the mean of xs (0 if empty or if any value is NaN
+// or infinite).
 func ArithmeticMean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	var s float64
 	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0
+		}
 		s += x
 	}
 	return s / float64(len(xs))
@@ -48,7 +53,9 @@ func GeometricMeanRatio(a, b []float64) float64 {
 	}
 	prod := 1.0
 	for i := range a {
-		if b[i] <= 0 || a[i] <= 0 {
+		if b[i] <= 0 || a[i] <= 0 ||
+			math.IsNaN(a[i]) || math.IsInf(a[i], 0) ||
+			math.IsNaN(b[i]) || math.IsInf(b[i], 0) {
 			return 0
 		}
 		prod *= a[i] / b[i]

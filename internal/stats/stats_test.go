@@ -23,6 +23,48 @@ func TestHarmonicMean(t *testing.T) {
 	}
 }
 
+func TestMeansGuardPathologicalInputs(t *testing.T) {
+	// The means summarize IPC values; a NaN or Inf leaking in from a broken
+	// simulation must collapse the aggregate to the sentinel 0, never
+	// propagate into rendered tables.
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		got  float64
+	}{
+		{"HM empty", HarmonicMean([]float64{})},
+		{"HM NaN", HarmonicMean([]float64{1, nan})},
+		{"HM +Inf", HarmonicMean([]float64{1, inf})},
+		{"HM -Inf", HarmonicMean([]float64{1, -inf})},
+		{"HM negative", HarmonicMean([]float64{1, -2})},
+		{"AM NaN", ArithmeticMean([]float64{1, nan})},
+		{"AM Inf", ArithmeticMean([]float64{1, inf})},
+		{"AM empty", ArithmeticMean(nil)},
+		{"GMR NaN a", GeometricMeanRatio([]float64{nan}, []float64{1})},
+		{"GMR NaN b", GeometricMeanRatio([]float64{1}, []float64{nan})},
+		{"GMR Inf", GeometricMeanRatio([]float64{inf}, []float64{1})},
+		{"GMR zero denom", GeometricMeanRatio([]float64{1}, []float64{0})},
+		{"GMR empty", GeometricMeanRatio(nil, nil)},
+	}
+	for _, c := range cases {
+		if c.got != 0 {
+			t.Errorf("%s = %v, want 0", c.name, c.got)
+		}
+	}
+}
+
+func TestMeansSingleSample(t *testing.T) {
+	if got := HarmonicMean([]float64{2.5}); got != 2.5 {
+		t.Errorf("HM(2.5) = %v, want 2.5", got)
+	}
+	if got := ArithmeticMean([]float64{2.5}); got != 2.5 {
+		t.Errorf("AM(2.5) = %v, want 2.5", got)
+	}
+	if got := GeometricMeanRatio([]float64{5}, []float64{2}); got != 2.5 {
+		t.Errorf("GMR(5/2) = %v, want 2.5", got)
+	}
+}
+
 func TestHarmonicLessThanArithmetic(t *testing.T) {
 	f := func(raw []float64) bool {
 		xs := make([]float64, 0, len(raw))

@@ -11,6 +11,14 @@
 // IPCs differ from the paper's; the machine-to-machine comparisons the paper
 // makes are driven by dependence-chain latency and bypass-hole structure,
 // which these kernels exercise the same way (DESIGN.md §3).
+//
+// Concurrency: the package is safe for concurrent use. Program and Trace
+// memoize under a mutex (held across the assemble/emulate fill, so
+// concurrent first calls for one workload coalesce rather than duplicate
+// work), and every caller receives the same cached program and trace slice —
+// callers treat them as immutable, which the simulator does (it only reads
+// the trace). This is what lets the experiment harness and rbserve fan
+// (machine, workload) cells across a worker pool without copying traces.
 package workload
 
 import (

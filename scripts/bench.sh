@@ -15,7 +15,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH='Figure9$|Figure11$|Figure13$|SimulatorThroughput$'
+BENCH='Figure9$|Figure11$|Figure13$|SimulatorThroughput$|ServerThroughput$'
 COUNT=3
 OUT=''
 

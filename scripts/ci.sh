@@ -16,3 +16,27 @@ go test -race -timeout 40m ./...
 # -quick includes the backends layer: the event-driven scheduler must be
 # bit-identical to the poll oracle on every checked (machine, workload) cell.
 go run ./cmd/rbcheck -quick
+
+# rbserve smoke test: boot the server on an ephemeral port, probe liveness
+# and metrics with its built-in client (no curl dependency), and require the
+# served fig9 text to be byte-identical to rbexp's output.
+BIN="$(mktemp -d)"
+trap 'rm -rf "$BIN"; [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true' EXIT
+go build -o "$BIN/rbserve" ./cmd/rbserve
+go build -o "$BIN/rbexp" ./cmd/rbexp
+"$BIN/rbserve" -addr 127.0.0.1:0 -addr-file "$BIN/addr" &
+SRV_PID=$!
+for _ in $(seq 1 100); do
+	[ -s "$BIN/addr" ] && break
+	sleep 0.1
+done
+[ -s "$BIN/addr" ]
+ADDR="$(head -n1 "$BIN/addr")"
+"$BIN/rbserve" -get "http://$ADDR/healthz" | grep -q '^ok$'
+"$BIN/rbserve" -get "http://$ADDR/metrics" | grep -q '"requests"'
+"$BIN/rbserve" -get "http://$ADDR/v1/experiment/fig9?format=text" >"$BIN/fig9.srv"
+"$BIN/rbexp" -exp fig9 >"$BIN/fig9.cli"
+diff "$BIN/fig9.srv" "$BIN/fig9.cli"
+kill "$SRV_PID"
+wait "$SRV_PID" || true
+SRV_PID=''
