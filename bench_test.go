@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/emu"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/mem"
@@ -542,4 +543,27 @@ func BenchmarkTable3(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFaultCampaign measures the full quick-tier fault-injection
+// campaign (gate sweep + datapath injections + scheduler drops) and reports
+// the swept site count, so campaign throughput is recorded PR over PR
+// alongside the figure benchmarks.
+func BenchmarkFaultCampaign(b *testing.B) {
+	var sites int64
+	for i := 0; i < b.N; i++ {
+		c, err := fault.Run(fault.Options{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sites = 0
+		for _, g := range c.Gates {
+			sites += int64(g.Sites)
+		}
+		for _, d := range c.Datapath {
+			sites += int64(d.Targets)
+		}
+		sites += int64(c.Sched.Drops)
+	}
+	b.ReportMetric(float64(sites), "sites/op")
 }

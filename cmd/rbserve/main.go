@@ -14,7 +14,11 @@
 //
 // The -get mode is a minimal HTTP client (fetch one URL, print the body,
 // exit non-zero on a non-2xx status) so scripts/ci.sh can smoke-test the
-// server without depending on curl or wget being installed.
+// server without depending on curl or wget being installed. Transport
+// errors and retryable statuses (5xx, 429) back off exponentially for up
+// to -retries attempts, honoring Retry-After when the server (admission
+// control or an open circuit breaker) supplies one, so a probe racing the
+// server's startup or a shed request does not flap CI.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -42,10 +47,12 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request deadline for /v1 routes")
 	cacheMB := flag.Int64("cache-mb", 64, "rendered-response cache budget in MiB")
 	get := flag.String("get", "", "probe mode: fetch this URL, print the body, and exit")
+	retries := flag.Int("retries", 3, "probe mode: extra attempts after a transport error or retryable status")
+	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "probe mode: first backoff delay, doubled per retry")
 	flag.Parse()
 
 	if *get != "" {
-		os.Exit(probe(*get))
+		os.Exit(probe(*get, *retries, *retryBase))
 	}
 
 	srv := server.New(server.Config{
@@ -92,21 +99,59 @@ func main() {
 }
 
 // probe fetches one URL and prints the body; exit status 0 only for 2xx.
-func probe(url string) int {
+// Transport errors and retryable statuses back off exponentially: delay
+// retryBase, 2*retryBase, 4*retryBase, ... (or the server's Retry-After
+// hint when longer) across retries extra attempts.
+func probe(url string, retries int, retryBase time.Duration) int {
 	client := &http.Client{Timeout: 5 * time.Minute}
+	delay := retryBase
+	for attempt := 0; ; attempt++ {
+		body, status, retryAfter, err := fetch(client, url)
+		retryable := err != nil || status >= 500 || status == http.StatusTooManyRequests
+		if retryable && attempt < retries {
+			wait := delay
+			if retryAfter > wait {
+				wait = retryAfter
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rbserve: %v (retrying in %v, attempt %d/%d)\n", err, wait, attempt+1, retries)
+			} else {
+				fmt.Fprintf(os.Stderr, "rbserve: %s returned %d (retrying in %v, attempt %d/%d)\n",
+					url, status, wait, attempt+1, retries)
+			}
+			time.Sleep(wait)
+			delay *= 2
+			continue
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rbserve: %v\n", err)
+			return 1
+		}
+		os.Stdout.Write(body)
+		if status < 200 || status >= 300 {
+			fmt.Fprintf(os.Stderr, "rbserve: %s returned %d\n", url, status)
+			return 1
+		}
+		return 0
+	}
+}
+
+// fetch performs one GET, returning the body, status, and any parsed
+// Retry-After hint.
+func fetch(client *http.Client, url string) (body []byte, status int, retryAfter time.Duration, err error) {
 	resp, err := client.Get(url)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rbserve: %v\n", err)
-		return 1
+		return nil, 0, 0, err
 	}
 	defer resp.Body.Close()
-	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
-		fmt.Fprintf(os.Stderr, "rbserve: %v\n", err)
-		return 1
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, 0, err
 	}
-	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		fmt.Fprintf(os.Stderr, "rbserve: %s returned %s\n", url, resp.Status)
-		return 1
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if sec, perr := strconv.Atoi(v); perr == nil && sec > 0 {
+			retryAfter = time.Duration(sec) * time.Second
+		}
 	}
-	return 0
+	return body, resp.StatusCode, retryAfter, nil
 }

@@ -5,7 +5,7 @@
 // The paper's argument rests on the claim that the RB machines are
 // *architecturally identical* to the Baseline — only timing differs. This
 // package makes that claim (and the arithmetic it depends on) continuously
-// checkable, in six layers:
+// checkable, in seven layers:
 //
 //	oracle     — lockstep replay: every instruction the timing core commits
 //	             is re-executed on an independent functional reference and
@@ -32,6 +32,11 @@
 //	             with independently written golden semantics (result
 //	             functions, branch predicates, or behavioral program checks)
 //	             and the table is asserted to cover the opcode space.
+//	faults     — the fault-injection campaign's detection guarantees
+//	             (internal/fault): gate-level coverage above its empirical
+//	             floor, 100% residue detection of single RB digit flips,
+//	             100% combined coverage of stale-bypass substitution, and
+//	             watchdog recovery of every dropped scheduler wakeup.
 //
 // cmd/rbcheck runs the full suite from the command line with -quick/-full
 // tiers and JSON output for CI; go test ./internal/check runs it (plus the
@@ -140,7 +145,7 @@ func run(layer, name string, body func() (trials int64, detail string, err error
 	return r
 }
 
-// Run executes the whole suite — all six layers — and returns every report.
+// Run executes the whole suite — all seven layers — and returns every report.
 func Run(opts Options) []Report {
 	var out []Report
 	out = append(out, Oracle(opts)...)
@@ -149,6 +154,7 @@ func Run(opts Options) []Report {
 	out = append(out, Adders(opts)...)
 	out = append(out, Converter(opts)...)
 	out = append(out, Ops(opts)...)
+	out = append(out, Faults(opts)...)
 	return out
 }
 

@@ -181,7 +181,7 @@ func (s *Simulator) issueEvent(cycle int64) {
 					u.state = uopWaiting
 				} else {
 					u.state = uopQueued
-					s.cal.Post(t, id)
+					s.postWakeup(t, id)
 				}
 			}
 			id = next
@@ -237,7 +237,7 @@ func (s *Simulator) postReady(id int32, cycle int64) {
 		return
 	}
 	u.state = uopQueued
-	s.cal.Post(t, id)
+	s.postWakeup(t, id)
 }
 
 // wakeDependents drains the waiter chain of a just-executed instruction:
@@ -384,6 +384,9 @@ func (s *Simulator) retire(cycle int64) {
 		d := s.done[s.retirePtr]
 		if d < 0 || d >= cycle {
 			return
+		}
+		if s.faultOut != nil {
+			s.faultStep(int(s.retirePtr), cycle)
 		}
 		if s.dpEnabled {
 			s.datapathCheck(int(s.retirePtr))

@@ -245,6 +245,11 @@ type Simulator struct {
 	// RunWithStages (used by the pipeline-diagram renderer).
 	stages []StageRecord
 
+	// Fault-injection state (ArmFaults) and the no-progress window before
+	// the lost-wakeup watchdog fires.
+	faultState
+	watchdogWindow int64
+
 	// Redundant binary datapath state (DatapathCheck).
 	dpRegs    [isa.NumRegs]uint64
 	dpRB      [isa.NumRegs]rbVal
@@ -271,6 +276,7 @@ func New(cfg machine.Config, workload string, trace []emu.TraceEntry) (*Simulato
 		lastFetchLine:   -1,
 		wpPC:            -1,
 		faultSeq:        -1,
+		watchdogWindow:  defaultWatchdogWindow,
 		res:             &Result{Machine: cfg.Name, Workload: workload},
 		dpEnabled:       cfg.DatapathCheck,
 	}
@@ -557,17 +563,23 @@ func (s *Simulator) Simulate() (*Result, error) {
 		if s.retirePtr != lastRetired {
 			lastRetired = s.retirePtr
 			lastProgress = cycle
-		} else if cycle-lastProgress > 100000 {
-			return nil, fmt.Errorf("core: no retirement progress for 100000 cycles at cycle %d (retired %d/%d)",
-				cycle, s.retirePtr, n)
+		} else if cycle-lastProgress > s.watchdogWindow {
+			// The watchdog: before declaring deadlock, check for entries
+			// whose wakeup was lost and re-post them (the poll-oracle
+			// fallback). Only an unrecoverable stall aborts the run.
+			if s.watchdogRecover(cycle) == 0 {
+				return nil, fmt.Errorf("core: no retirement progress for %d cycles at cycle %d (retired %d/%d)",
+					s.watchdogWindow, cycle, s.retirePtr, n)
+			}
+			lastProgress = cycle
 		}
 		if s.backend == BackendEvent && s.retirePtr < n {
 			next := s.nextActiveCycle(cycle)
-			if next < 0 || next > lastProgress+100001 {
+			if next < 0 || next > lastProgress+s.watchdogWindow+1 {
 				// No wakeup will ever fire (or not before the watchdog): step
 				// to the cycle at which the no-progress check trips, exactly
 				// as the polling loop would.
-				next = lastProgress + 100001
+				next = lastProgress + s.watchdogWindow + 1
 			}
 			// Nothing dispatches or retires in the skipped cycles, so window
 			// occupancy is constant across them.

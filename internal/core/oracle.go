@@ -67,21 +67,7 @@ func (s *Simulator) InjectFault(seq int64, digit int) {
 // flipRBDigit flips one digit of v's redundant binary form: a nonzero digit
 // collapses to 0 and a zero digit becomes +1, changing the value by ±2^digit.
 func flipRBDigit(v uint64, digit int) uint64 {
-	plus, minus := rb.FromUint(v).Components()
-	bit := uint64(1) << uint(digit)
-	switch {
-	case minus&bit != 0:
-		minus &^= bit
-	case plus&bit != 0:
-		plus &^= bit
-	default:
-		plus |= bit
-	}
-	n, err := rb.FromBits(plus, minus)
-	if err != nil {
-		panic(err) // unreachable: flipping preserves disjointness
-	}
-	return n.Uint()
+	return flipRBDigitVec(v, digit).Uint()
 }
 
 // RunLockstep simulates a trace with the lockstep oracle enabled. prog must

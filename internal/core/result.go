@@ -92,6 +92,11 @@ type Result struct {
 	// OccupancySum accumulates the in-flight instruction count per cycle;
 	// AvgOccupancy derives the mean window occupancy.
 	OccupancySum int64
+
+	// WatchdogRecoveries counts lost-wakeup stalls the no-progress watchdog
+	// recovered from by re-posting abandoned entries (always 0 in a
+	// fault-free run on either backend).
+	WatchdogRecoveries int64
 }
 
 // AvgOccupancy is the mean number of in-flight (dispatched, unretired)

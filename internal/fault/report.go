@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report rendering. Output is a pure function of the campaign struct —
+// sorted where order is not already deterministic, no wall-clock anywhere —
+// so two runs at the same seed are byte-identical (the property cmd/rbfault
+// and the check layer's determinism gate rely on).
+
+// WriteText renders the campaign as the coverage table EXPERIMENTS.md cites.
+func (c *Campaign) WriteText(w io.Writer) {
+	mode := "quick"
+	if c.Full {
+		mode = "full"
+	}
+	fmt.Fprintf(w, "fault-injection campaign (seed %d, %s)\n", c.Seed, mode)
+
+	fmt.Fprintf(w, "\ngate level (stuck-at-0/1 + transient flip, output-compare detection):\n")
+	fmt.Fprintf(w, "  %-12s %5s %6s %9s %9s  %s\n",
+		"circuit", "width", "sites", "detected", "coverage", "undetected")
+	for _, g := range c.Gates {
+		und := "-"
+		if len(g.Undetected) > 0 {
+			und = strings.Join(g.Undetected, " ")
+		}
+		fmt.Fprintf(w, "  %-12s %5d %6d %9d %8.1f%%  %s\n",
+			g.Circuit, g.Width, g.Sites, g.Detected, 100*g.Coverage(), und)
+	}
+
+	fmt.Fprintf(w, "\ndatapath level (residue check + commit-time value compare):\n")
+	fmt.Fprintf(w, "  %-12s %7s %8s %6s %7s %6s %9s %8s %7s  %s\n",
+		"model", "targets", "injected", "masked", "residue", "oracle",
+		"coverage", "mean-lat", "max-lat", "false-negatives")
+	for _, d := range c.Datapath {
+		fn := "-"
+		if len(d.FalseNegatives) > 0 {
+			parts := make([]string, len(d.FalseNegatives))
+			for i, seq := range d.FalseNegatives {
+				parts[i] = fmt.Sprintf("%d", seq)
+			}
+			fn = strings.Join(parts, " ")
+		}
+		fmt.Fprintf(w, "  %-12s %7d %8d %6d %7d %6d %8.1f%% %8.1f %7d  %s\n",
+			d.Model, d.Targets, d.Injected, d.Masked, d.Residue, d.Oracle,
+			100*d.Coverage(), d.MeanLatency, d.MaxLatency, fn)
+	}
+
+	s := c.Sched
+	fmt.Fprintf(w, "\nscheduler level (dropped wakeups, watchdog window %d cycles):\n", s.Window)
+	fmt.Fprintf(w, "  %-12s %8s %8s %9s %8s %7s\n",
+		"model", "drops", "injected", "detected", "mean-lat", "max-lat")
+	fmt.Fprintf(w, "  %-12s %8d %8d %9d %8.1f %7d\n",
+		"drop-wakeup", s.Drops, s.Injected, s.Detected, s.MeanLatency, s.MaxLatency)
+	fmt.Fprintf(w, "  recovered: %d/%d stalls resumed via watchdog re-post\n",
+		s.Recovered, s.Injected)
+}
+
+// WriteJSON renders the campaign as indented JSON (struct fields only, so
+// key order is deterministic).
+func (c *Campaign) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}

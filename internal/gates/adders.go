@@ -1,5 +1,7 @@
 package gates
 
+import "fmt"
+
 // AdderResult bundles an adder circuit's interface.
 type AdderResult struct {
 	C    *Circuit
@@ -20,7 +22,11 @@ func RippleCarryAdder(n int) *AdderResult {
 		p := c.Xor(a[i], b[i])
 		sum[i] = c.Xor(p, carry)
 		carry = c.Or(c.And(a[i], b[i]), c.And(p, carry))
+		c.SetName(carry, fmt.Sprintf("carry[%d]", i))
 	}
+	c.nameWord(a, "a")
+	c.nameWord(b, "b")
+	c.nameWord(sum, "sum")
 	return &AdderResult{C: c, A: a, B: b, Sum: sum, Cout: carry}
 }
 
@@ -45,6 +51,12 @@ func KoggeStoneAdder(n int) *AdderResult {
 	for i := 1; i < n; i++ {
 		sum[i] = c.Xor(p[i], gg[i-1])
 	}
+	c.nameWord(a, "a")
+	c.nameWord(b, "b")
+	c.nameWord(g, "g")
+	c.nameWord(p, "p")
+	c.nameWord(sum, "sum")
+	c.SetName(gg[n-1], "cout")
 	return &AdderResult{C: c, A: a, B: b, Sum: sum, Cout: gg[n-1]}
 }
 
@@ -206,6 +218,16 @@ func RBAdder(n int) *RBAdderResult {
 		sp[i] = c.And(c.Xor(interP[i], cinP), c.Not(c.Or(interM[i], cinM)))
 		sm[i] = c.And(c.Xor(interM[i], cinM), c.Not(c.Or(interP[i], cinP)))
 	}
+	c.nameWord(ap, "a+")
+	c.nameWord(am, "a-")
+	c.nameWord(bp, "b+")
+	c.nameWord(bm, "b-")
+	c.nameWord(carryP, "carry+")
+	c.nameWord(carryM, "carry-")
+	c.nameWord(interP, "interim+")
+	c.nameWord(interM, "interim-")
+	c.nameWord(sp, "sum+")
+	c.nameWord(sm, "sum-")
 	return &RBAdderResult{
 		C: c, APlus: ap, AMinus: am, BPlus: bp, BMinus: bm,
 		SumPlus: sp, SumMinus: sm,
@@ -265,5 +287,8 @@ func RBToTCConverter(n int) *ConverterResult {
 	for i := 1; i < n; i++ {
 		sum[i] = c.Xor(p[i], gg[i-1])
 	}
+	c.nameWord(plus, "plus")
+	c.nameWord(minus, "minus")
+	c.nameWord(sum, "out")
 	return &ConverterResult{C: c, Plus: plus, Minus: minus, Out: sum}
 }

@@ -1,0 +1,156 @@
+package gates
+
+import "fmt"
+
+// Gate-level fault injection: the classic test-generation fault models
+// applied to the adder and converter netlists. A fault site is any net
+// (gate output, input, or constant); the models are the two stuck-at faults
+// and the single-evaluation transient flip — the combinational analogue of
+// the single-cycle upsets the datapath layer injects on RB digits. Because
+// the netlists are pure combinational DAGs, one faulted evaluation models
+// one cycle of a faulty circuit.
+
+// FaultModel is a gate-level fault kind.
+type FaultModel uint8
+
+const (
+	// StuckAt0 forces the net to 0 on every evaluation.
+	StuckAt0 FaultModel = iota
+	// StuckAt1 forces the net to 1 on every evaluation.
+	StuckAt1
+	// Flip inverts the net's computed value for one evaluation (a
+	// single-cycle transient upset).
+	Flip
+	// NumFaultModels counts the models.
+	NumFaultModels
+)
+
+// String names the model ("stuck-at-0", "stuck-at-1", "flip").
+func (m FaultModel) String() string {
+	switch m {
+	case StuckAt0:
+		return "stuck-at-0"
+	case StuckAt1:
+		return "stuck-at-1"
+	case Flip:
+		return "flip"
+	}
+	return fmt.Sprintf("FaultModel(%d)", uint8(m))
+}
+
+// Fault is one injected gate-level fault: a model applied to a net.
+type Fault struct {
+	Net   Node
+	Model FaultModel
+}
+
+// SetName attaches a structural name to a net (e.g. "sum[3]", "carry[7]").
+// Builders name their interface and key internal nets so fault campaigns
+// can report sites symbolically.
+func (c *Circuit) SetName(n Node, name string) {
+	for int(n) >= len(c.names) {
+		c.names = append(c.names, "")
+	}
+	c.names[n] = name
+}
+
+// nameWord names every net of a word as base[i].
+func (c *Circuit) nameWord(w Word, base string) {
+	for i, n := range w {
+		c.SetName(n, fmt.Sprintf("%s[%d]", base, i))
+	}
+}
+
+// NetName returns the structural name of a net, or a synthesized
+// "n<index>/<op>" for unnamed internal gates — every net has a stable,
+// deterministic name.
+func (c *Circuit) NetName(n Node) string {
+	if int(n) < len(c.names) && c.names[n] != "" {
+		return c.names[n]
+	}
+	var op string
+	switch c.ops[n] {
+	case OpInput:
+		op = "in"
+	case OpConst:
+		op = "const"
+	case OpNot:
+		op = "not"
+	case OpAnd:
+		op = "and"
+	case OpOr:
+		op = "or"
+	case OpXor:
+		op = "xor"
+	}
+	return fmt.Sprintf("n%d/%s", int(n), op)
+}
+
+// Nets returns every fault site of the circuit in deterministic (creation)
+// order: all logic gates and primary inputs. Constants are excluded — a
+// stuck-at on a constant is either a no-op or equivalent to a stuck-at on
+// its consumers' inputs.
+func (c *Circuit) Nets() []Node {
+	out := make([]Node, 0, len(c.ops))
+	for i, op := range c.ops {
+		if op != OpConst {
+			out = append(out, Node(i))
+		}
+	}
+	return out
+}
+
+// EvalFault evaluates the circuit like Eval but with the given faults
+// active: after each net's fault-free value is computed, any fault on it
+// overrides (stuck-at) or inverts (flip) the value before fanout sees it.
+func (c *Circuit) EvalFault(assignment []bool, outs []Node, faults []Fault) ([]bool, error) {
+	if len(assignment) != len(c.inputs) {
+		return nil, fmt.Errorf("gates: %d assignments for %d inputs", len(assignment), len(c.inputs))
+	}
+	// Faults are few (typically one); a linear scan per node would be O(n*f),
+	// so build a sparse override map keyed by node.
+	type override struct {
+		model FaultModel
+	}
+	ov := make(map[Node]override, len(faults))
+	for _, f := range faults {
+		if int(f.Net) < 0 || int(f.Net) >= len(c.ops) {
+			return nil, fmt.Errorf("gates: fault net %d out of range", f.Net)
+		}
+		ov[f.Net] = override{model: f.Model}
+	}
+	vals := make([]bool, len(c.ops))
+	ai := 0
+	for i, op := range c.ops {
+		switch op {
+		case OpInput:
+			vals[i] = assignment[ai]
+			ai++
+		case OpConst:
+			vals[i] = c.val[i]
+		case OpNot:
+			vals[i] = !vals[c.a[i]]
+		case OpAnd:
+			vals[i] = vals[c.a[i]] && vals[c.b[i]]
+		case OpOr:
+			vals[i] = vals[c.a[i]] || vals[c.b[i]]
+		case OpXor:
+			vals[i] = vals[c.a[i]] != vals[c.b[i]]
+		}
+		if o, ok := ov[Node(i)]; ok {
+			switch o.model {
+			case StuckAt0:
+				vals[i] = false
+			case StuckAt1:
+				vals[i] = true
+			case Flip:
+				vals[i] = !vals[i]
+			}
+		}
+	}
+	out := make([]bool, len(outs))
+	for i, o := range outs {
+		out[i] = vals[o]
+	}
+	return out, nil
+}

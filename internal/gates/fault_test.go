@@ -1,0 +1,137 @@
+package gates
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestEvalFaultNoFaultsMatchesEval: with an empty fault list, EvalFault is
+// exactly Eval.
+func TestEvalFaultNoFaultsMatchesEval(t *testing.T) {
+	add := KoggeStoneAdder(8)
+	outs := append(append(Word(nil), add.Sum...), add.Cout)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		in := make([]bool, add.C.NumInputs())
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		want, err := add.C.Eval(in, outs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := add.C.EvalFault(in, outs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d out %d: EvalFault %v, Eval %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEvalFaultStuckAtKnownEffect: stuck-at-1 on sum[0] of a ripple-carry
+// adder forces the output bit regardless of inputs; stuck-at-0 likewise.
+func TestEvalFaultStuckAtKnownEffect(t *testing.T) {
+	add := RippleCarryAdder(4)
+	in := make([]bool, add.C.NumInputs()) // a = b = 0, so sum[0] = 0
+	got, err := add.C.EvalFault(in, Word{add.Sum[0]}, []Fault{{Net: add.Sum[0], Model: StuckAt1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0] {
+		t.Fatal("stuck-at-1 on sum[0] did not force the output to 1")
+	}
+	in[0] = true // a = 1, b = 0, so sum[0] = 1
+	got, err = add.C.EvalFault(in, Word{add.Sum[0]}, []Fault{{Net: add.Sum[0], Model: StuckAt0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] {
+		t.Fatal("stuck-at-0 on sum[0] did not force the output to 0")
+	}
+	// Flip inverts whatever the fault-free value is.
+	got, err = add.C.EvalFault(in, Word{add.Sum[0]}, []Fault{{Net: add.Sum[0], Model: Flip}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] {
+		t.Fatal("flip on sum[0] = 1 did not invert the output")
+	}
+}
+
+// TestEvalFaultPropagates: a stuck-at-1 on the bit-0 carry of a ripple-carry
+// adder with zero inputs corrupts sum[1] (carry-in of slice 1).
+func TestEvalFaultPropagates(t *testing.T) {
+	add := RippleCarryAdder(4)
+	var carry0 Node = -1
+	for _, n := range add.C.Nets() {
+		if add.C.NetName(n) == "carry[0]" {
+			carry0 = n
+		}
+	}
+	if carry0 < 0 {
+		t.Fatal("carry[0] net not found")
+	}
+	in := make([]bool, add.C.NumInputs())
+	got, err := add.C.EvalFault(in, Word{add.Sum[1]}, []Fault{{Net: carry0, Model: StuckAt1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0] {
+		t.Fatal("stuck-at-1 on carry[0] did not propagate to sum[1]")
+	}
+}
+
+// TestNetNamesDeterministic: building the same circuit twice yields the same
+// net list and names, and all interface nets are named (no synthesized
+// fallbacks) — fault-campaign reports are stable across runs.
+func TestNetNamesDeterministic(t *testing.T) {
+	name := func() []string {
+		add := RBAdder(8)
+		nets := add.C.Nets()
+		out := make([]string, len(nets))
+		for i, n := range nets {
+			out[i] = add.C.NetName(n)
+		}
+		return out
+	}
+	a, b := name(), name()
+	if len(a) != len(b) {
+		t.Fatalf("net counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("net %d named %q then %q", i, a[i], b[i])
+		}
+	}
+	add := RBAdder(8)
+	for _, w := range []struct {
+		word Word
+		base string
+	}{
+		{add.APlus, "a+"}, {add.AMinus, "a-"},
+		{add.BPlus, "b+"}, {add.BMinus, "b-"},
+		{add.SumPlus, "sum+"}, {add.SumMinus, "sum-"},
+	} {
+		for i, n := range w.word {
+			got := add.C.NetName(n)
+			if !strings.HasPrefix(got, w.base+"[") {
+				t.Fatalf("%s[%d] named %q", w.base, i, got)
+			}
+		}
+	}
+}
+
+// TestEvalFaultBadNet: out-of-range fault sites are rejected, not silently
+// dropped.
+func TestEvalFaultBadNet(t *testing.T) {
+	add := RippleCarryAdder(2)
+	in := make([]bool, add.C.NumInputs())
+	if _, err := add.C.EvalFault(in, Word{add.Sum[0]}, []Fault{{Net: 1 << 20, Model: Flip}}); err == nil {
+		t.Fatal("expected error for out-of-range fault net")
+	}
+}

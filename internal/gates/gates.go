@@ -47,6 +47,7 @@ type Circuit struct {
 	val    []bool // constant value for OpConst
 	depth  []int32
 	inputs []Node
+	names  []string // structural net names (SetName); "" = unnamed
 }
 
 // New returns an empty circuit.

@@ -42,7 +42,7 @@ var Determinism = &Analyzer{
 // measurements).
 var determinismScope = map[string]bool{
 	"core": true, "sched": true, "bypass": true, "machine": true,
-	"experiments": true, "stats": true, "check": true,
+	"experiments": true, "stats": true, "check": true, "fault": true,
 	// The serving layer sits on top of the simulator and must not smuggle
 	// nondeterminism into it: wall-clock reads are legal only for service
 	// metrics (request latency, uptime) and carry allow directives.

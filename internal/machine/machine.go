@@ -313,8 +313,13 @@ func NewIdealLimited(width int, bp bypass.Config) Config {
 }
 
 // ByName builds one of the four paper machines by its lower-case name:
-// "baseline", "rb-limited", "rb-full", or "ideal".
+// "baseline", "rb-limited", "rb-full", or "ideal". The width is validated
+// up front: the constructors divide by width/2 schedulers, so a width below
+// 2 would panic during construction rather than fail Config.Validate.
 func ByName(name string, width int) (Config, error) {
+	if width < 2 || width%2 != 0 || width > 64 {
+		return Config{}, fmt.Errorf("machine: invalid width %d (want an even width in [2, 64])", width)
+	}
 	switch name {
 	case "baseline":
 		return NewBaseline(width), nil

@@ -14,8 +14,14 @@ import (
 	"sync/atomic"
 )
 
-// ErrClosed is returned by Submit after Close.
-var ErrClosed = errors.New("pool: closed")
+// ErrPoolClosed is the typed sentinel Submit and TrySubmit report once Close
+// has begun: callers distinguish "the pool is shutting down" (stop
+// submitting, drain) from a context cancellation with errors.Is.
+var ErrPoolClosed = errors.New("pool: closed")
+
+// ErrClosed is the original name of ErrPoolClosed, kept so existing
+// errors.Is checks and comparisons continue to work.
+var ErrClosed = ErrPoolClosed
 
 // Pool is a fixed-size worker pool over a bounded FIFO queue. Tasks must not
 // submit to the pool they run on (all workers could then be blocked waiting
@@ -68,13 +74,23 @@ func (p *Pool) worker() {
 }
 
 // Submit enqueues fn, blocking while the queue is full. It returns ctx.Err()
-// if the context is done before the task is accepted, and ErrClosed after
-// Close. A nil error guarantees fn will run.
+// if the context is done before the task is accepted, and ErrPoolClosed
+// after Close — including for a Submit that races Close: the pool's lock
+// ordering guarantees every Submit returns either nil (fn will run) or a
+// definite error (fn will never run), never a silent drop.
 func (p *Pool) Submit(ctx context.Context, fn func()) error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.done {
-		return ErrClosed
+		return ErrPoolClosed
+	}
+	// An already-canceled context must always lose: the select below picks
+	// randomly among ready cases, so without this check a dead request
+	// could still enqueue work whenever the queue has room.
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
 	}
 	// Count the task before the send: a worker can pop and finish it the
 	// instant it lands, and the decrement must not precede the increment.

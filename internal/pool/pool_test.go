@@ -2,6 +2,7 @@ package pool
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -37,8 +38,12 @@ func TestSubmitRunsEverything(t *testing.T) {
 func TestSubmitAfterClose(t *testing.T) {
 	p := New(1, 0)
 	p.Close()
-	if err := p.Submit(context.Background(), func() {}); err != ErrClosed {
-		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	err := p.Submit(context.Background(), func() {})
+	if !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrPoolClosed", err)
+	}
+	if err != ErrClosed { // the legacy name must stay comparable
+		t.Fatalf("Submit after Close = %v, not identical to ErrClosed", err)
 	}
 	if ok := p.TrySubmit(func() {}); ok {
 		t.Fatal("TrySubmit after Close succeeded")
@@ -85,17 +90,24 @@ func TestCloseWaitsForQueued(t *testing.T) {
 
 func TestConcurrentSubmitAndClose(t *testing.T) {
 	// Hammer Submit from many goroutines while Close races in; no sends on
-	// a closed channel, every accepted task runs (run with -race).
+	// a closed channel, every accepted task runs, and every rejection is
+	// the typed ErrPoolClosed — never a panic or an untyped error (run
+	// with -race).
 	p := New(4, 8)
-	var accepted, ran atomic.Int64
+	var accepted, ran, rejected atomic.Int64
 	var wg sync.WaitGroup
 	for g := 0; g < 16; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
-				if p.Submit(context.Background(), func() { ran.Add(1) }) == nil {
+				switch err := p.Submit(context.Background(), func() { ran.Add(1) }); {
+				case err == nil:
 					accepted.Add(1)
+				case errors.Is(err, ErrPoolClosed):
+					rejected.Add(1)
+				default:
+					t.Errorf("Submit racing Close = %v, want nil or ErrPoolClosed", err)
 				}
 			}
 		}()
@@ -103,6 +115,9 @@ func TestConcurrentSubmitAndClose(t *testing.T) {
 	time.Sleep(2 * time.Millisecond)
 	p.Close()
 	wg.Wait()
+	if accepted.Load()+rejected.Load() != 16*100 {
+		t.Fatalf("accepted %d + rejected %d != %d submits", accepted.Load(), rejected.Load(), 16*100)
+	}
 	// Close blocks until workers drain, but tasks accepted after Close
 	// started returning are impossible; all accepted tasks must have run.
 	deadline := time.Now().Add(5 * time.Second)

@@ -1,0 +1,44 @@
+package rb
+
+import "math/bits"
+
+// Mod-3 residue checking over the signed-digit encoding.
+//
+// The redundant representation's fault-tolerance story (DESIGN.md §12): a
+// value travels the machine as the digit vector (plus, minus), and any
+// corruption of a single digit in flight — a flipped indicator bit in a
+// bypass latch, a stuck register-file cell — changes the represented value
+// by ±2^i or ±2·2^i. Because 2^i mod 3 is never 0 (it alternates 1, 2), no
+// single-digit corruption is invisible mod 3. A producer therefore computes
+// the 2-bit residue of its result as it is produced and sends it alongside
+// the digit vectors; the converter path recomputes the residue from the
+// digits it actually received and flags a mismatch before writeback. The
+// check costs two popcounts per component vector — far off any critical
+// path — and needs no conversion to 2's complement.
+
+// evenDigits masks the digit positions with weight 2^i ≡ 1 (mod 3); the
+// complementary odd positions have weight 2^i ≡ 2 (mod 3).
+const evenDigits uint64 = 0x5555555555555555
+
+// Residue3 returns the value of the digit vector mod 3, computed directly
+// from the signed digits without carry propagation: a +1 digit contributes
+// 1 (even position) or 2 (odd position), a -1 digit the complement (-1 ≡ 2,
+// -2 ≡ 1 mod 3). The result is in [0, 3).
+//
+// Residue3 is a function of the represented integer sum of the digits, not
+// of the particular redundant form: two digit vectors for the same integer
+// have equal residues. (It is *not* in general the residue of Uint(), which
+// wraps mod 2^64; residue checking compares digit vectors against residues
+// that were themselves computed from digit vectors, so the wrap never
+// enters.)
+func (n Number) Residue3() uint8 {
+	p := bits.OnesCount64(n.plus&evenDigits) + 2*bits.OnesCount64(n.plus&^evenDigits)
+	m := 2*bits.OnesCount64(n.minus&evenDigits) + bits.OnesCount64(n.minus&^evenDigits)
+	return uint8((p + m) % 3)
+}
+
+// CheckResidue recomputes the digit vector's residue and compares it with
+// the carried residue, reporting whether the value passes (true = clean).
+// This is the converter-path guard: it must run on the digits as received,
+// before any writeback or conversion commits them.
+func (n Number) CheckResidue(carried uint8) bool { return n.Residue3() == carried%3 }

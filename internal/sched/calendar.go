@@ -23,12 +23,13 @@ package sched
 // Each id may be buffered at most once at a time; delivery order within one
 // cycle is unspecified (the simulator re-sorts woken entries by age).
 type Calendar struct {
-	heads []int32 // per-bucket chain head; nilEvent = empty
-	link  []int32 // link[id] = next event id in the same bucket
-	mask  int64
-	now   int64
-	count int
-	far   []farEvent // min-heap ordered by cycle
+	heads    []int32 // per-bucket chain head; nilEvent = empty
+	link     []int32 // link[id] = next event id in the same bucket
+	buffered []bool  // buffered[id] = id currently holds a posted event
+	mask     int64
+	now      int64
+	count    int
+	far      []farEvent // min-heap ordered by cycle
 }
 
 const nilEvent = int32(-1)
@@ -67,11 +68,23 @@ func (c *Calendar) Post(cycle int64, id int32) {
 		cycle = c.now // defensive: deliver late rather than corrupt a bucket
 	}
 	c.count++
+	for int(id) >= len(c.buffered) {
+		c.buffered = append(c.buffered, false)
+	}
+	c.buffered[id] = true
 	if cycle-c.now >= int64(len(c.heads)) {
 		c.farPush(farEvent{cycle: cycle, id: id})
 		return
 	}
 	c.chain(cycle, id)
+}
+
+// Has reports whether id currently holds a buffered (posted, not yet popped)
+// event. The fault layer's lost-wakeup watchdog uses this to distinguish a
+// waiting entry whose wakeup is still in flight from one whose wakeup was
+// dropped.
+func (c *Calendar) Has(id int32) bool {
+	return int(id) < len(c.buffered) && c.buffered[id]
 }
 
 // chain links id onto the bucket for cycle (which must be within the ring).
@@ -105,6 +118,7 @@ func (c *Calendar) Pop(cycle int64, buf []int32) []int32 {
 	b := cycle & c.mask
 	for id := c.heads[b]; id != nilEvent; id = c.link[id] {
 		buf = append(buf, id)
+		c.buffered[id] = false
 		c.count--
 	}
 	c.heads[b] = nilEvent

@@ -237,3 +237,35 @@ func BenchmarkShiftTimerTick(b *testing.B) {
 		timer.Tick()
 	}
 }
+
+func TestCalendarHas(t *testing.T) {
+	c := NewCalendar(64)
+	if c.Has(7) {
+		t.Fatal("Has(7) true on empty calendar")
+	}
+	c.Post(5, 7)
+	c.Post(500, 9) // overflow heap
+	if !c.Has(7) || !c.Has(9) {
+		t.Fatal("posted ids not reported by Has")
+	}
+	if c.Has(8) {
+		t.Fatal("Has(8) true for never-posted id")
+	}
+	buf := c.Pop(5, nil)
+	if len(buf) != 1 || buf[0] != 7 {
+		t.Fatalf("Pop(5) = %v", buf)
+	}
+	if c.Has(7) {
+		t.Fatal("Has(7) true after delivery")
+	}
+	if !c.Has(9) {
+		t.Fatal("Has(9) false while still buffered in overflow")
+	}
+	buf = c.Pop(500, buf[:0])
+	if len(buf) != 1 || buf[0] != 9 {
+		t.Fatalf("Pop(500) = %v", buf)
+	}
+	if c.Has(9) {
+		t.Fatal("Has(9) true after overflow delivery")
+	}
+}

@@ -324,8 +324,10 @@ func checkLayer(layer string, opts check.Options) ([]check.Report, error) {
 		return check.Converter(opts), nil
 	case "ops":
 		return check.Ops(opts), nil
+	case "faults":
+		return check.Faults(opts), nil
 	}
-	return nil, fmt.Errorf("unknown layer %q (want all, oracle, invariants, backends, adders, converter, or ops)", layer)
+	return nil, fmt.Errorf("unknown layer %q (want all, oracle, invariants, backends, adders, converter, ops, or faults)", layer)
 }
 
 // handleCheck runs the differential verification suite on demand:
@@ -352,10 +354,10 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	switch layer {
-	case "all", "oracle", "invariants", "backends", "adders", "converter", "ops":
+	case "all", "oracle", "invariants", "backends", "adders", "converter", "ops", "faults":
 	default:
 		writeError(w, http.StatusNotFound,
-			fmt.Sprintf("unknown layer %q (want all, oracle, invariants, backends, adders, converter, or ops)", layer))
+			fmt.Sprintf("unknown layer %q (want all, oracle, invariants, backends, adders, converter, ops, or faults)", layer))
 		return
 	}
 	key := strings.Join([]string{"check", layer, strconv.FormatBool(full), strconv.FormatInt(seed, 10)}, "|")

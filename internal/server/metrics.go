@@ -21,14 +21,15 @@ import (
 type metrics struct {
 	start time.Time
 
-	requests  atomic.Int64 // requests admitted to a handler
-	inflight  atomic.Int64 // currently executing requests
-	rejected  atomic.Int64 // 429s from admission control
-	timeouts  atomic.Int64 // requests that hit their deadline
-	panics    atomic.Int64 // handler panics converted to 500s
-	status2xx atomic.Int64
-	status4xx atomic.Int64
-	status5xx atomic.Int64
+	requests      atomic.Int64 // requests admitted to a handler
+	inflight      atomic.Int64 // currently executing requests
+	rejected      atomic.Int64 // 429s from admission control
+	timeouts      atomic.Int64 // requests that hit their deadline
+	panics        atomic.Int64 // handler panics converted to 500s
+	chaosInjected atomic.Int64 // chaos faults injected (rbfault campaigns)
+	status2xx     atomic.Int64
+	status4xx     atomic.Int64
+	status5xx     atomic.Int64
 
 	latency *stats.LatencySketch
 }
@@ -76,6 +77,13 @@ type MetricsSnapshot struct {
 		MaxMs float64 `json:"max_ms"`
 	} `json:"latency"`
 
+	Breaker struct {
+		State         string `json:"state"` // closed, open, or half-open
+		Trips         int64  `json:"trips"`
+		Shed          int64  `json:"shed_503"`
+		ChaosInjected int64  `json:"chaos_injected"`
+	} `json:"breaker"`
+
 	Pool struct {
 		Workers   int   `json:"workers"`
 		Depth     int64 `json:"queue_depth"`
@@ -106,6 +114,8 @@ func (s *Server) snapshot() MetricsSnapshot {
 	out.Latency.P90Ms = 1e3 * m.latency.Quantile(0.90)
 	out.Latency.P99Ms = 1e3 * m.latency.Quantile(0.99)
 	out.Latency.MaxMs = 1e3 * m.latency.Max()
+	out.Breaker.State, out.Breaker.Trips, out.Breaker.Shed = s.brk.snapshot()
+	out.Breaker.ChaosInjected = m.chaosInjected.Load()
 	out.Pool.Workers = s.pool.Workers()
 	out.Pool.Depth = s.pool.Depth()
 	out.Pool.Submitted = s.pool.Submitted()

@@ -13,6 +13,8 @@ import (
 	"runtime/debug"
 	"strconv"
 	"time"
+
+	"repro/internal/pool"
 )
 
 // statusWriter captures the response status and whether anything was
@@ -93,9 +95,10 @@ const retryAfterSeconds = 1
 
 // failRequest maps a handler error to a response: context deadline
 // exhaustion becomes 504 (the work itself cannot be aborted mid-cell, but
-// the client stops waiting), cancellation 499-style 503, everything else
-// 400 — by the time a request reaches the simulator, invalid parameters are
-// the only expected failure.
+// the client stops waiting), cancellation 499-style 503, a closed worker
+// pool 503 (the process is draining), everything else 400 — by the time a
+// request reaches the simulator, invalid parameters are the only expected
+// failure.
 func (s *Server) failRequest(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
@@ -103,6 +106,8 @@ func (s *Server) failRequest(w http.ResponseWriter, r *http.Request, err error) 
 		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
 	case errors.Is(err, context.Canceled):
 		writeError(w, http.StatusServiceUnavailable, "request canceled")
+	case errors.Is(err, pool.ErrPoolClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 	default:
 		writeError(w, http.StatusBadRequest, err.Error())
 	}

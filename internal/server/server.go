@@ -15,9 +15,11 @@
 //	             the experiments harness so HTTP traffic and rbexp-style
 //	             matrix fan-out obey a single CPU bound
 //	robustness   admission control (429 + Retry-After once MaxInflight
-//	             requests are active), per-request deadlines, panic
-//	             recovery into logged 500s, and graceful drain in
-//	             cmd/rbserve
+//	             requests are active), a circuit breaker shedding load with
+//	             503 once the recent 5xx rate crosses a threshold,
+//	             per-request deadlines, panic recovery into logged 500s,
+//	             deterministic chaos injection for rbfault campaigns, and
+//	             graceful drain in cmd/rbserve
 //
 // Simulations are deterministic functions of their parameters, which is
 // what makes aggressive caching sound: a cached response is bit-identical
@@ -31,6 +33,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
@@ -54,19 +57,39 @@ type Config struct {
 	CacheBytes int64
 	// Logf receives panic and lifecycle logs; nil means log.Printf.
 	Logf func(format string, args ...any)
+
+	// BreakerWindow is the number of recent /v1 outcomes the circuit
+	// breaker remembers; 0 means 32.
+	BreakerWindow int
+	// BreakerThreshold is the failure (5xx) fraction of the window that
+	// opens the circuit; 0 means 0.5.
+	BreakerThreshold float64
+	// BreakerMinSamples is the minimum outcomes before the rate can trip;
+	// 0 means 8.
+	BreakerMinSamples int
+	// BreakerCooldown is how long an open circuit sheds before admitting a
+	// half-open probe; 0 means 5s. rbfault sets this longer than the whole
+	// campaign so trip counts are a pure function of the request sequence.
+	BreakerCooldown time.Duration
+
+	// Chaos enables deterministic service-level fault injection (rbfault's
+	// service leg); the zero value disables it.
+	Chaos ChaosConfig
 }
 
 // Server is one rbserve instance. Create with New, mount Handler, Close
 // when done.
 type Server struct {
-	cfg     Config
-	pool    *pool.Pool
-	harness *experiments.Harness
-	resp    *rcache.Cache
-	met     *metrics
-	sem     chan struct{} // admission-control slots for /v1 routes
-	mux     *http.ServeMux
-	logf    func(format string, args ...any)
+	cfg      Config
+	pool     *pool.Pool
+	harness  *experiments.Harness
+	resp     *rcache.Cache
+	met      *metrics
+	sem      chan struct{} // admission-control slots for /v1 routes
+	brk      *breaker
+	chaosSeq atomic.Int64 // chaotic-request ordinal
+	mux      *http.ServeMux
+	logf     func(format string, args ...any)
 }
 
 // New builds a server from cfg (zero value = sensible defaults).
@@ -86,12 +109,25 @@ func New(cfg Config) *Server {
 	if cfg.CacheBytes <= 0 {
 		cfg.CacheBytes = 64 << 20
 	}
+	if cfg.BreakerWindow <= 0 {
+		cfg.BreakerWindow = 32
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 0.5
+	}
+	if cfg.BreakerMinSamples <= 0 {
+		cfg.BreakerMinSamples = 8
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
 	s := &Server{
 		cfg:  cfg,
 		pool: pool.New(cfg.Parallel, 0),
 		resp: rcache.New(16, cfg.CacheBytes),
 		met:  newMetrics(),
 		sem:  make(chan struct{}, cfg.MaxInflight),
+		brk:  newBreaker(cfg.BreakerWindow, cfg.BreakerThreshold, cfg.BreakerMinSamples, cfg.BreakerCooldown),
 		logf: cfg.Logf,
 	}
 	if s.logf == nil {
@@ -110,15 +146,18 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Close() { s.pool.Close() }
 
 // routes mounts every endpoint. /healthz and /metrics bypass admission
-// control — they must answer even when the simulation queue is saturated —
-// while every /v1 route is observed, limited, and deadline-bounded.
+// control and the breaker — they must answer even when the simulation
+// queue is saturated or the circuit is open — while every heavy /v1 route
+// is observed, circuit-broken, chaos-injected (when configured), limited,
+// and deadline-bounded, in that order: the breaker sheds before any work
+// starts, and chaos faults are visible to the breaker like real failures.
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.observed(s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.observed(s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/workloads", s.observed(s.handleWorkloads))
-	s.mux.HandleFunc("GET /v1/experiment/{name}", s.observed(s.limited(s.handleExperiment)))
-	s.mux.HandleFunc("GET /v1/sim", s.observed(s.limited(s.handleSim)))
-	s.mux.HandleFunc("GET /v1/check", s.observed(s.limited(s.handleCheck)))
+	s.mux.HandleFunc("GET /v1/experiment/{name}", s.observed(s.breaking(s.chaotic(s.limited(s.handleExperiment)))))
+	s.mux.HandleFunc("GET /v1/sim", s.observed(s.breaking(s.chaotic(s.limited(s.handleSim)))))
+	s.mux.HandleFunc("GET /v1/check", s.observed(s.breaking(s.chaotic(s.limited(s.handleCheck)))))
 	// Live profiling of the serving process (README "Profiling the
 	// simulator"); pprof handlers stream and manage their own timeouts.
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -16,6 +16,15 @@ go test -race -timeout 40m ./...
 # -quick includes the backends layer: the event-driven scheduler must be
 # bit-identical to the poll oracle on every checked (machine, workload) cell.
 go run ./cmd/rbcheck -quick
+# Fault-injection gate: detection floors (gate coverage, 100% residue on
+# single digit flips, full watchdog recovery) plus the deterministic
+# service-chaos outcome counts; non-zero exit on any regression.
+go run ./cmd/rbfault -quick >/dev/null
+# Focused race leg: the packages with real cross-goroutine traffic (worker
+# pool, response cache, HTTP service, fault campaigns) get a second -race
+# shake beyond the one-shot full run above, to catch schedule-dependent
+# races like Submit-vs-Close.
+go test -race -count=2 -timeout 20m ./internal/pool/ ./internal/rcache/ ./internal/server/ ./internal/fault/
 
 # rbserve smoke test: boot the server on an ephemeral port, probe liveness
 # and metrics with its built-in client (no curl dependency), and require the
