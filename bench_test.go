@@ -20,6 +20,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/gates"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/mem"
@@ -566,4 +567,56 @@ func BenchmarkFaultCampaign(b *testing.B) {
 		sites += int64(c.Sched.Drops)
 	}
 	b.ReportMetric(float64(sites), "sites/op")
+}
+
+// BenchmarkPackedEval measures the bit-parallel 64-lane netlist engine on
+// the 64-digit RB adder: one faulted evaluation resolves 64 lanes, so the
+// lane-evaluation rate is the number the gate sweep's speedup comes from.
+// The sibling scalar case walks the same netlist once per call (one lane)
+// to keep the per-lane comparison in the same report.
+func BenchmarkPackedEval(b *testing.B) {
+	r := gates.RBAdder(64)
+	outs := append(append(append(append([]gates.Node(nil),
+		r.SumPlus...), r.SumMinus...), r.CoutPlus), r.CoutMinus)
+	in := make([]uint64, r.C.NumInputs())
+	rnd := rand.New(rand.NewSource(11))
+	for i := range in {
+		in[i] = rnd.Uint64()
+	}
+	nets := r.C.Nets()
+	faults := make([]gates.PackedFault, 64)
+	for k := range faults {
+		faults[k] = gates.PackedFault{
+			Net:   nets[rnd.Intn(len(nets))],
+			Model: gates.FaultModel(k % int(gates.NumFaultModels)),
+			Lanes: 1 << uint(k),
+		}
+	}
+	b.Run("packed", func(b *testing.B) {
+		ev := r.C.PackedEvaluator()
+		got := make([]uint64, 0, len(outs))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			got, err = ev.EvalFault(in, outs, faults, got[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(64, "lanes/op")
+	})
+	b.Run("scalar", func(b *testing.B) {
+		sin := make([]bool, len(in))
+		for j := range sin {
+			sin[j] = in[j]&1 != 0
+		}
+		sf := []gates.Fault{{Net: faults[0].Net, Model: faults[0].Model}}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.C.EvalFault(sin, outs, sf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(1, "lanes/op")
+	})
 }

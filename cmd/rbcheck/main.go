@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	rbcheck [-quick|-full] [-json] [-seed N]
+//	rbcheck [-quick|-full] [-json] [-seed N] [-engine packed|scalar]
 //
 // The quick tier is the CI gate and finishes in seconds; the full tier runs
 // every workload, both widths, and the deep exhaustive/random trial counts.
-// -json emits one machine-readable object for CI consumption. The exit
+// -json emits one machine-readable object for CI consumption. -engine picks
+// the gate-netlist evaluation engine for the adder/converter equivalence
+// layers: the default bit-parallel 64-lane walk, or the scalar oracle it is
+// pinned to (reports are identical either way, modulo durations). The exit
 // status is 0 iff every check passed.
 package main
 
@@ -27,9 +30,14 @@ func main() {
 	full := flag.Bool("full", false, "run the full tier (overrides -quick)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
 	seed := flag.Int64("seed", 0, "seed for randomized trials (0 = fixed default)")
+	engine := flag.String("engine", "packed", "gate-netlist engine: packed (64-lane) or scalar (oracle)")
 	flag.Parse()
 
-	opts := check.Options{Full: *full, Seed: *seed}
+	if *engine != "packed" && *engine != "scalar" {
+		fmt.Fprintf(os.Stderr, "rbcheck: unknown -engine %q (want packed or scalar)\n", *engine)
+		os.Exit(2)
+	}
+	opts := check.Options{Full: *full, Seed: *seed, ScalarGates: *engine == "scalar"}
 	_ = quick // -quick is the default; -full overrides it
 	reports := check.Run(opts)
 	passed := check.Passed(reports)

@@ -48,22 +48,30 @@ type Predictor struct {
 	rasLen int
 }
 
+// Counter-table prototypes, filled once: New copies them in rather than
+// byte-filling ~150KB per predictor, which matters to callers that build
+// simulators in a loop (the fault campaign constructs one per injection).
+var (
+	gshareProto  = fillBytes(gshareSize, 1)  // weakly not-taken
+	patternProto = fillBytes(patternSize, 1) // weakly not-taken
+	chooserProto = fillBytes(chooserSize, 2) // no initial preference; >=2 selects gshare
+)
+
+func fillBytes(n int, v uint8) []uint8 {
+	s := make([]uint8, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
 // New builds a predictor with all counters weakly not-taken.
 func New() *Predictor {
 	p := &Predictor{
-		gshare:  make([]uint8, gshareSize),
-		chooser: make([]uint8, chooserSize),
+		gshare:  append([]uint8(nil), gshareProto...),
+		chooser: append([]uint8(nil), chooserProto...),
 		localH:  make([]uint16, localTableSize),
-		pattern: make([]uint8, patternSize),
-	}
-	for i := range p.gshare {
-		p.gshare[i] = 1
-	}
-	for i := range p.pattern {
-		p.pattern[i] = 1
-	}
-	for i := range p.chooser {
-		p.chooser[i] = 2 // no initial preference; >=2 selects gshare
+		pattern: append([]uint8(nil), patternProto...),
 	}
 	p.btbTag = make([][btbWays]uint32, btbSets)
 	p.btbTgt = make([][btbWays]int32, btbSets)

@@ -2,6 +2,7 @@ package check
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/gates"
 	"repro/internal/rb"
@@ -12,25 +13,32 @@ import (
 // arithmetic must compute the same function — exhaustively at small widths,
 // and over boundary patterns plus random redundant forms at 64 bits.
 
-// Adders runs the adder-equivalence layer.
+// Adders runs the adder-equivalence layer. The exhaustive and randomized
+// netlist sweeps stream their vectors through the bit-parallel 64-lane
+// engine (gates.PackedEvaluator) by default; opts.ScalarGates routes them
+// through the scalar oracle instead, producing identical reports.
 func Adders(opts Options) []Report {
+	tcEx, rbEx, rb64 := tcGatesExhaustive, rbGatesExhaustive, rbGates64
+	if opts.ScalarGates {
+		tcEx, rbEx, rb64 = tcGatesExhaustiveScalar, rbGatesExhaustiveScalar, rbGates64Scalar
+	}
 	var out []Report
 	// 2's-complement adder netlists, exhaustive over all operand pairs.
 	for _, n := range []int{4, 8} {
 		n := n
 		out = append(out, run("adders", fmt.Sprintf("tc-gates-exhaustive/%d-bit", n),
-			func() (int64, string, error) { return tcGatesExhaustive(n) }))
+			func() (int64, string, error) { return tcEx(n) }))
 	}
 	// RB adder netlist, exhaustive over all digit-vector pairs.
 	rbN := opts.pick(4, 6)
 	out = append(out, run("adders", fmt.Sprintf("rb-gates-exhaustive/%d-digit", rbN),
-		func() (int64, string, error) { return rbGatesExhaustive(rbN) }))
+		func() (int64, string, error) { return rbEx(rbN) }))
 	// 64-bit word-level RB arithmetic vs native.
 	out = append(out, run("adders", "rb-word/64-bit",
 		func() (int64, string, error) { return rbWord64(opts) }))
 	// 64-bit RB adder netlist vs native.
 	out = append(out, run("adders", "rb-gates/64-digit",
-		func() (int64, string, error) { return rbGates64(opts) }))
+		func() (int64, string, error) { return rb64(opts) }))
 	// Carry-save and radix-4 redundant forms vs native.
 	out = append(out, run("adders", "carry-save",
 		func() (int64, string, error) { return carrySaveCheck(opts) }))
@@ -40,8 +48,68 @@ func Adders(opts Options) []Report {
 }
 
 // tcGatesExhaustive proves the ripple-carry and Kogge-Stone netlists compute
-// n-bit addition for every operand pair.
+// n-bit addition for every operand pair, 64 pairs per packed pass: the inner
+// operand b enumerates consecutive integers, so both the input lanes and the
+// expected sum lanes are LaneCounter patterns — packing, evaluation, and
+// comparison are all O(width) per block.
 func tcGatesExhaustive(n int) (int64, string, error) {
+	adders := []struct {
+		name string
+		r    *gates.AdderResult
+	}{
+		{"ripple-carry", gates.RippleCarryAdder(n)},
+		{"kogge-stone", gates.KoggeStoneAdder(n)},
+	}
+	mask := uint64(1)<<uint(n) - 1
+	var trials int64
+	for _, ad := range adders {
+		ev := ad.r.C.PackedEvaluator()
+		outs := append(append([]gates.Node(nil), ad.r.Sum...), ad.r.Cout)
+		in := make([]uint64, 2*n)
+		got := make([]uint64, 0, n+1)
+		for a := uint64(0); a <= mask; a++ {
+			for j := 0; j < n; j++ {
+				in[j] = gates.Broadcast(a>>uint(j)&1 != 0)
+			}
+			for b0 := uint64(0); b0 <= mask; b0 += 64 {
+				lanes := 64
+				if rem := mask - b0 + 1; rem < 64 {
+					lanes = int(rem)
+				}
+				for j := 0; j < n; j++ {
+					in[n+j] = gates.LaneCounter(b0, j)
+				}
+				var err error
+				got, err = ev.Eval(in, outs, got[:0])
+				if err != nil {
+					return trials, "", err
+				}
+				// Lane k's expected sum is a+b0+k — consecutive again, so
+				// the whole block compares word-wise against LaneCounter.
+				var bad uint64
+				for j := 0; j <= n; j++ {
+					bad |= got[j] ^ gates.LaneCounter(a+b0, j)
+				}
+				if bad &= gates.LaneMask(lanes); bad == 0 {
+					trials += int64(lanes)
+					continue
+				}
+				k := bits.TrailingZeros64(bad)
+				trials += int64(k) + 1
+				b := b0 + uint64(k)
+				sum := gates.LaneWord(got[:n], k)
+				cout := got[n]>>uint(k)&1 != 0
+				want := a + b
+				return trials, "", fmt.Errorf("%s(%d): %d+%d = sum %d cout %v, want %d cout %v",
+					ad.name, n, a, b, sum, cout, want&mask, want>>uint(n) != 0)
+			}
+		}
+	}
+	return trials, fmt.Sprintf("all %d operand pairs, both netlists", (mask+1)*(mask+1)), nil
+}
+
+// tcGatesExhaustiveScalar is the scalar-oracle form of tcGatesExhaustive.
+func tcGatesExhaustiveScalar(n int) (int64, string, error) {
 	adders := []struct {
 		name string
 		r    *gates.AdderResult
@@ -91,7 +159,70 @@ func digitValue(plus, minus uint64) int64 { return int64(plus) - int64(minus) }
 // rbGatesExhaustive proves the RB adder netlist computes exact signed-digit
 // addition — value(sum) + carry*2^n == value(a) + value(b) — for every pair
 // of n-digit redundant operands, and that the sum encoding stays disjoint.
+// The a operand broadcasts across lanes; each packed pass sweeps 64 b
+// vectors at once.
 func rbGatesExhaustive(n int) (int64, string, error) {
+	r := gates.RBAdder(n)
+	vecs := digitVectors(n)
+	ev := r.C.PackedEvaluator()
+	outs := make([]gates.Node, 0, 2*n+2)
+	outs = append(outs, r.SumPlus...)
+	outs = append(outs, r.SumMinus...)
+	outs = append(outs, r.CoutPlus, r.CoutMinus)
+	in := make([]uint64, 4*n)
+	got := make([]uint64, 0, 2*n+2)
+	var trials int64
+	for _, a := range vecs {
+		for j := 0; j < n; j++ {
+			in[j] = gates.Broadcast(a[0]>>uint(j)&1 != 0)
+			in[n+j] = gates.Broadcast(a[1]>>uint(j)&1 != 0)
+		}
+		for bi := 0; bi < len(vecs); bi += 64 {
+			lanes := len(vecs) - bi
+			if lanes > 64 {
+				lanes = 64
+			}
+			var bp, bm [64]uint64
+			for k := 0; k < lanes; k++ {
+				bp[k], bm[k] = vecs[bi+k][0], vecs[bi+k][1]
+			}
+			gates.PackLanes(in[2*n:3*n], bp[:lanes], n)
+			gates.PackLanes(in[3*n:4*n], bm[:lanes], n)
+			var err error
+			got, err = ev.Eval(in, outs, got[:0])
+			if err != nil {
+				return trials, "", err
+			}
+			for k := 0; k < lanes; k++ {
+				b := vecs[bi+k]
+				trials++
+				sp := gates.LaneWord(got[:n], k)
+				sm := gates.LaneWord(got[n:2*n], k)
+				if sp&sm != 0 {
+					return trials, "", fmt.Errorf("RBAdder(%d): sum encoding overlap plus=%#x minus=%#x for a=%v b=%v",
+						n, sp, sm, a, b)
+				}
+				carry := int64(0)
+				if got[2*n]>>uint(k)&1 != 0 {
+					carry++
+				}
+				if got[2*n+1]>>uint(k)&1 != 0 {
+					carry--
+				}
+				gotVal := digitValue(sp, sm) + carry<<uint(n)
+				want := digitValue(a[0], a[1]) + digitValue(b[0], b[1])
+				if gotVal != want {
+					return trials, "", fmt.Errorf("RBAdder(%d): a=%v b=%v: value %d (carry %d), want %d",
+						n, a, b, gotVal, carry, want)
+				}
+			}
+		}
+	}
+	return trials, fmt.Sprintf("all %d digit-vector pairs", len(vecs)*len(vecs)), nil
+}
+
+// rbGatesExhaustiveScalar is the scalar-oracle form of rbGatesExhaustive.
+func rbGatesExhaustiveScalar(n int) (int64, string, error) {
 	r := gates.RBAdder(n)
 	vecs := digitVectors(n)
 	var trials int64
@@ -178,8 +309,69 @@ func rbWord64(opts Options) (int64, string, error) {
 
 // rbGates64 proves the full-width RB adder netlist agrees with native 64-bit
 // arithmetic (mod 2^64, where the carry-out digit vanishes) over boundary
-// patterns and random redundant forms.
+// patterns and random redundant forms. The redundant operand forms are drawn
+// in visit order (the same rng stream as the scalar oracle), then swept 64
+// pairs per packed pass via bit-matrix transposes.
 func rbGates64(opts Options) (int64, string, error) {
+	r := gates.RBAdder(64)
+	rnd := opts.rng("rb-gates-forms")
+	type pair struct{ x, y, xp, xm, yp, ym uint64 }
+	var pairs []pair
+	trials := operandPairs(opts, "rb-gates/64-digit", opts.pick(300, 3000), func(x, y uint64) {
+		nx, ny := rb.RedundantForm(x, rnd), rb.RedundantForm(y, rnd)
+		xp, xm := nx.Components()
+		yp, ym := ny.Components()
+		pairs = append(pairs, pair{x, y, xp, xm, yp, ym})
+	})
+	ev := r.C.PackedEvaluator()
+	outs := make([]gates.Node, 0, 128)
+	outs = append(outs, r.SumPlus...)
+	outs = append(outs, r.SumMinus...)
+	in := make([]uint64, 256)
+	got := make([]uint64, 0, 128)
+	for bi := 0; bi < len(pairs); bi += 64 {
+		lanes := len(pairs) - bi
+		if lanes > 64 {
+			lanes = 64
+		}
+		var xp, xm, yp, ym [64]uint64
+		for k := 0; k < lanes; k++ {
+			p := pairs[bi+k]
+			xp[k], xm[k], yp[k], ym[k] = p.xp, p.xm, p.yp, p.ym
+		}
+		gates.Transpose64(&xp)
+		gates.Transpose64(&xm)
+		gates.Transpose64(&yp)
+		gates.Transpose64(&ym)
+		copy(in[0:64], xp[:])
+		copy(in[64:128], xm[:])
+		copy(in[128:192], yp[:])
+		copy(in[192:256], ym[:])
+		var err error
+		got, err = ev.Eval(in, outs, got[:0])
+		if err != nil {
+			return trials, "", err
+		}
+		var sp, sm [64]uint64
+		copy(sp[:], got[:64])
+		copy(sm[:], got[64:128])
+		gates.Transpose64(&sp)
+		gates.Transpose64(&sm)
+		for k := 0; k < lanes; k++ {
+			p := pairs[bi+k]
+			if sp[k]&sm[k] != 0 {
+				return trials, "", fmt.Errorf("RBAdder(64): sum encoding overlap for %#x + %#x", p.x, p.y)
+			}
+			if gotVal := sp[k] - sm[k]; gotVal != p.x+p.y {
+				return trials, "", fmt.Errorf("RBAdder(64): %#x + %#x = %#x, want %#x", p.x, p.y, gotVal, p.x+p.y)
+			}
+		}
+	}
+	return trials, "gate netlist vs native mod 2^64", nil
+}
+
+// rbGates64Scalar is the scalar-oracle form of rbGates64.
+func rbGates64Scalar(opts Options) (int64, string, error) {
 	r := gates.RBAdder(64)
 	rnd := opts.rng("rb-gates-forms")
 	var firstErr error

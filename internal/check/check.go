@@ -75,6 +75,12 @@ type Options struct {
 	// Seed drives the randomized trials; 0 selects a fixed default so runs
 	// are reproducible unless a seed is chosen deliberately.
 	Seed int64
+	// ScalarGates forces the gate-netlist equivalence layers (adders,
+	// converter) through the scalar Eval walk instead of the bit-parallel
+	// 64-lane engine. The two engines produce identical reports — trial
+	// counts, details, and verdicts (TestGateLayersEngineParity) — so the
+	// flag exists as the oracle mode rbcheck -engine=scalar exposes.
+	ScalarGates bool
 }
 
 // rng returns the deterministic random source for one check, decorrelated

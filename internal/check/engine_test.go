@@ -1,0 +1,35 @@
+package check
+
+import (
+	"testing"
+)
+
+// TestGateLayersEngineParity pins the packed 64-lane engine to the scalar
+// oracle at the report level: the adders and converter layers must produce
+// identical reports — layer, name, verdict, trial count, and detail — under
+// either engine, which is what keeps rbcheck -json byte-identical (modulo
+// wall-clock durations) across -engine=packed|scalar.
+func TestGateLayersEngineParity(t *testing.T) {
+	packed := Options{Seed: 99}
+	scalar := Options{Seed: 99, ScalarGates: true}
+	for _, layer := range []struct {
+		name string
+		run  func(Options) []Report
+	}{
+		{"adders", Adders},
+		{"converter", Converter},
+	} {
+		p := layer.run(packed)
+		s := layer.run(scalar)
+		if len(p) != len(s) {
+			t.Fatalf("%s: %d packed reports vs %d scalar", layer.name, len(p), len(s))
+		}
+		for i := range p {
+			p[i].Millis, s[i].Millis = 0, 0
+			if p[i] != s[i] {
+				t.Errorf("%s report %d diverges between engines:\npacked: %+v\nscalar: %+v",
+					layer.name, i, p[i], s[i])
+			}
+		}
+	}
+}

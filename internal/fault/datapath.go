@@ -136,11 +136,7 @@ func runFaultSet(cfg machine.Config, trace []emu.TraceEntry, faults []core.Fault
 }
 
 // runDatapath sweeps both datapath fault models over the campaign trace.
-func runDatapath(opts Options) ([]DatapathReport, error) {
-	trace, err := campaignTrace(opts)
-	if err != nil {
-		return nil, err
-	}
+func runDatapath(opts Options, trace []emu.TraceEntry) ([]DatapathReport, error) {
 	cfg := machine.NewRBFull(4)
 
 	// Digit flips: every result-producing instruction, one seeded digit per

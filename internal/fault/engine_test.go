@@ -1,0 +1,30 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGateSweepEngineParity pins the packed 64-sites-per-pass gate sweep to
+// the scalar EvalFault oracle at the report level: same sites, same detected
+// count, same undetected list in the same order — the property that keeps
+// rbfault output byte-identical across -engine=packed|scalar.
+func TestGateSweepEngineParity(t *testing.T) {
+	for _, full := range []bool{false, true} {
+		if full && testing.Short() {
+			continue
+		}
+		packed, err := runGates(Options{Seed: 7, Full: full})
+		if err != nil {
+			t.Fatalf("full=%v packed: %v", full, err)
+		}
+		scalar, err := runGates(Options{Seed: 7, Full: full, ScalarGates: true})
+		if err != nil {
+			t.Fatalf("full=%v scalar: %v", full, err)
+		}
+		if !reflect.DeepEqual(packed, scalar) {
+			t.Errorf("full=%v: gate reports diverge between engines:\npacked: %+v\nscalar: %+v",
+				full, packed, scalar)
+		}
+	}
+}

@@ -32,6 +32,12 @@ type Options struct {
 	Full bool
 	// Seed drives every pseudo-random choice in the campaign.
 	Seed int64
+	// ScalarGates forces the gate-level sweep through the scalar EvalFault
+	// oracle instead of the bit-parallel 64-lane engine (64 fault sites per
+	// pass). Reports are identical either way — pinned by
+	// TestGateSweepEngineParity — so the flag exists as the oracle mode
+	// rbfault -engine=scalar exposes.
+	ScalarGates bool
 }
 
 // rng derives an independent, deterministic stream for one campaign stage.
@@ -56,10 +62,16 @@ func Run(opts Options) (*Campaign, error) {
 	if c.Gates, err = runGates(opts); err != nil {
 		return nil, err
 	}
-	if c.Datapath, err = runDatapath(opts); err != nil {
+	// The datapath and scheduler legs inject into the same seeded program;
+	// trace it once and share (the trace is read-only under injection).
+	trace, err := campaignTrace(opts)
+	if err != nil {
 		return nil, err
 	}
-	if c.Sched, err = runSched(opts); err != nil {
+	if c.Datapath, err = runDatapath(opts, trace); err != nil {
+		return nil, err
+	}
+	if c.Sched, err = runSched(opts, trace); err != nil {
 		return nil, err
 	}
 	return c, nil

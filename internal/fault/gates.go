@@ -100,7 +100,13 @@ func buildCircuits(width int) []gateCircuit {
 	}
 }
 
-// runGates sweeps sites × models × vectors for each circuit.
+// runGates sweeps sites × models × vectors for each circuit. The default
+// path packs 64 fault sites per evaluation — each site's fault confined to
+// its own lane of the bit-parallel engine, every lane fed the same vector —
+// so a whole block's detection verdicts fall out of one topological walk
+// per vector. The fault-free reference is always the scalar Eval oracle,
+// and opts.ScalarGates switches the faulted sweep itself back to the scalar
+// EvalFault walk; the reports are identical either way.
 func runGates(opts Options) ([]GateReport, error) {
 	width, nvec := 8, 24
 	if opts.Full {
@@ -120,7 +126,7 @@ func runGates(opts Options) ([]GateReport, error) {
 		for v := 0; v < nvec; v++ {
 			vectors = append(vectors, gc.gen(rnd))
 		}
-		// Fault-free references, one per vector.
+		// Fault-free references, one per vector (the scalar oracle).
 		golden := make([][]bool, len(vectors))
 		for vi, vec := range vectors {
 			out, err := gc.c.Eval(vec, gc.outs)
@@ -129,35 +135,114 @@ func runGates(opts Options) ([]GateReport, error) {
 			}
 			golden[vi] = out
 		}
-		rep := GateReport{Circuit: gc.name, Width: width, Vectors: len(vectors)}
+		// Fault sites in deterministic order: nets (creation order) × models.
+		sites := make([]gates.Fault, 0, len(gc.c.Nets())*int(gates.NumFaultModels))
 		for _, net := range gc.c.Nets() {
 			for m := gates.FaultModel(0); m < gates.NumFaultModels; m++ {
-				rep.Sites++
-				detected := false
-				for vi, vec := range vectors {
-					out, err := gc.c.EvalFault(vec, gc.outs, []gates.Fault{{Net: net, Model: m}})
-					if err != nil {
-						return nil, fmt.Errorf("fault: %s faulted eval: %w", gc.name, err)
-					}
-					for oi := range out {
-						if out[oi] != golden[vi][oi] {
-							detected = true
-							break
-						}
-					}
-					if detected {
-						break
-					}
-				}
-				if detected {
-					rep.Detected++
-				} else {
-					rep.Undetected = append(rep.Undetected,
-						fmt.Sprintf("%s:%s", gc.c.NetName(net), m))
-				}
+				sites = append(sites, gates.Fault{Net: net, Model: m})
+			}
+		}
+		rep := GateReport{Circuit: gc.name, Width: width, Vectors: len(vectors), Sites: len(sites)}
+		detected := make([]bool, len(sites))
+		if opts.ScalarGates {
+			if err := sweepScalar(gc, vectors, golden, sites, detected); err != nil {
+				return nil, err
+			}
+		} else if err := sweepPacked(gc, vectors, golden, sites, detected); err != nil {
+			return nil, err
+		}
+		for i, s := range sites {
+			if detected[i] {
+				rep.Detected++
+			} else {
+				rep.Undetected = append(rep.Undetected,
+					fmt.Sprintf("%s:%s", gc.c.NetName(s.Net), s.Model))
 			}
 		}
 		reports = append(reports, rep)
 	}
 	return reports, nil
+}
+
+// sweepPacked resolves 64 fault sites per pass: site i of a block gets lane
+// i, the input vector broadcasts across all lanes, and a site is detected
+// when any output word's lane differs from the golden broadcast. Vectors are
+// the outer loop: after each one the still-unexposed sites are repacked into
+// dense blocks, so the walk count tracks the (fast-shrinking) undetected
+// population instead of paying every block's worst lane. A site's verdict is
+// unchanged — it is detected iff some vector exposes it, vectors tried in
+// the same order as the scalar sweep.
+func sweepPacked(gc gateCircuit, vectors, golden [][]bool, sites []gates.Fault, detected []bool) error {
+	ev := gc.c.PackedEvaluator()
+	in := make([]uint64, gc.c.NumInputs())
+	goldenW := make([]uint64, len(gc.outs))
+	// pending holds indices into sites, in site (net-major) order — so each
+	// repacked block's faults arrive already net-sorted.
+	pending := make([]int, len(sites))
+	for i := range pending {
+		pending[i] = i
+	}
+	faults := make([]gates.PackedFault, 0, 64)
+	got := make([]uint64, 0, len(gc.outs))
+	for vi, vec := range vectors {
+		if len(pending) == 0 {
+			break
+		}
+		for j, b := range vec {
+			in[j] = gates.Broadcast(b)
+		}
+		for oi, b := range golden[vi] {
+			goldenW[oi] = gates.Broadcast(b)
+		}
+		next := pending[:0]
+		for bi := 0; bi < len(pending); bi += 64 {
+			block := pending[bi:min(bi+64, len(pending))]
+			faults = faults[:0]
+			for k, si := range block {
+				faults = append(faults, gates.PackedFault{
+					Net: sites[si].Net, Model: sites[si].Model, Lanes: 1 << uint(k),
+				})
+			}
+			var err error
+			got, err = ev.EvalFault(in, gc.outs, faults, got[:0])
+			if err != nil {
+				return fmt.Errorf("fault: %s faulted eval: %w", gc.name, err)
+			}
+			var exposed uint64
+			for oi := range gc.outs {
+				exposed |= got[oi] ^ goldenW[oi]
+			}
+			for k, si := range block {
+				if exposed>>uint(k)&1 != 0 {
+					detected[si] = true
+				} else {
+					next = append(next, si)
+				}
+			}
+		}
+		pending = next
+	}
+	return nil
+}
+
+// sweepScalar is the one-site-at-a-time oracle sweep.
+func sweepScalar(gc gateCircuit, vectors, golden [][]bool, sites []gates.Fault, detected []bool) error {
+	for i, s := range sites {
+		for vi, vec := range vectors {
+			out, err := gc.c.EvalFault(vec, gc.outs, []gates.Fault{{Net: s.Net, Model: s.Model}})
+			if err != nil {
+				return fmt.Errorf("fault: %s faulted eval: %w", gc.name, err)
+			}
+			for oi := range out {
+				if out[oi] != golden[vi][oi] {
+					detected[i] = true
+					break
+				}
+			}
+			if detected[i] {
+				break
+			}
+		}
+	}
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/emu"
 	"repro/internal/machine"
 )
 
@@ -30,12 +31,8 @@ type SchedReport struct {
 // while still modeling a realistic detection bound.
 const schedWatchdogWindow = 2000
 
-func runSched(opts Options) (SchedReport, error) {
+func runSched(opts Options, trace []emu.TraceEntry) (SchedReport, error) {
 	rep := SchedReport{Window: schedWatchdogWindow}
-	trace, err := campaignTrace(opts)
-	if err != nil {
-		return rep, err
-	}
 	cfg := machine.NewRBFull(4)
 
 	// Dry run: count the wakeup posts a healthy run makes.

@@ -1,0 +1,82 @@
+package gates
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fuzzMenu is the circuit pool FuzzPackedEvalEquivalence draws from — built
+// once; Circuits are read-only under evaluation, so sharing them across fuzz
+// workers is safe (each iteration gets its own evaluator).
+var fuzzMenu = func() []struct {
+	c    *Circuit
+	outs []Node
+} {
+	var menu []struct {
+		c    *Circuit
+		outs []Node
+	}
+	for _, bc := range builderCases() {
+		for _, w := range []int{4, 16} {
+			c, outs := bc.build(w)
+			menu = append(menu, struct {
+				c    *Circuit
+				outs []Node
+			}{c, outs})
+		}
+	}
+	return menu
+}()
+
+// FuzzPackedEvalEquivalence differentially fuzzes the packed engine against
+// the scalar oracle (mirroring internal/check/fuzz_test.go's style): a seed
+// word derives the 64 lane assignments, and a fault tuple (site selector,
+// model, lane mask) is injected through both engines — PackedEvalFault and
+// 64 scalar EvalFault/Eval runs must agree lane for lane on every output.
+func FuzzPackedEvalEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint16(0), uint8(0), uint64(1))
+	f.Add(uint64(0xDEADBEEF), uint16(37), uint8(1), ^uint64(0))
+	f.Add(uint64(0x5eed), uint16(999), uint8(2), uint64(0))
+	f.Add(^uint64(0), uint16(3), uint8(5), uint64(0x8000000000000001))
+	f.Fuzz(func(t *testing.T, seed uint64, siteSel uint16, modelSel uint8, lanes uint64) {
+		menu := fuzzMenu[(seed^uint64(siteSel))%uint64(len(fuzzMenu))]
+		c, outs := menu.c, menu.outs
+		rnd := rand.New(rand.NewSource(int64(seed)))
+		vectors := make([][]bool, 64)
+		for k := range vectors {
+			vec := make([]bool, c.NumInputs())
+			for j := range vec {
+				vec[j] = rnd.Intn(2) == 1
+			}
+			vectors[k] = vec
+		}
+		in := packBlock(vectors, c.NumInputs())
+		nets := c.Nets()
+		fault := PackedFault{
+			Net:   nets[int(siteSel)%len(nets)],
+			Model: FaultModel(modelSel % uint8(NumFaultModels)),
+			Lanes: lanes,
+		}
+		got, err := c.PackedEvalFault(in, outs, []PackedFault{fault})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, vec := range vectors {
+			var want []bool
+			if lanes>>uint(k)&1 != 0 {
+				want, err = c.EvalFault(vec, outs, []Fault{{Net: fault.Net, Model: fault.Model}})
+			} else {
+				want, err = c.Eval(vec, outs)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range outs {
+				if got[j]>>uint(k)&1 != 0 != want[j] {
+					t.Fatalf("lane %d output %d: packed %v, scalar %v (fault %s on %s, lanes %#x)",
+						k, j, !want[j], want[j], fault.Model, c.NetName(fault.Net), lanes)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,215 @@
+package gates
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Fault-mask property tests: the per-lane fault semantics the campaign
+// sweeps rest on. fault_test.go covers the scalar models; these pin the
+// packed masks to them.
+
+// faultCircuits is the property-test menu: one narrow instance per builder.
+func faultCircuits() []struct {
+	name string
+	c    *Circuit
+	outs []Node
+} {
+	var out []struct {
+		name string
+		c    *Circuit
+		outs []Node
+	}
+	for _, bc := range builderCases() {
+		c, outs := bc.build(8)
+		out = append(out, struct {
+			name string
+			c    *Circuit
+			outs []Node
+		}{bc.name, c, outs})
+	}
+	return out
+}
+
+// TestPackedFaultLaneIsolation: a fault injected in lane k perturbs only
+// lane k's outputs — every other lane matches the fault-free evaluation
+// exactly, for each model and a sweep of sites.
+func TestPackedFaultLaneIsolation(t *testing.T) {
+	for _, fc := range faultCircuits() {
+		rnd := rand.New(rand.NewSource(21))
+		ev := fc.c.PackedEvaluator()
+		in := make([]uint64, fc.c.NumInputs())
+		for j := range in {
+			in[j] = rnd.Uint64()
+		}
+		clean, err := ev.Eval(in, fc.outs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets := fc.c.Nets()
+		for trial := 0; trial < 64; trial++ {
+			net := nets[rnd.Intn(len(nets))]
+			model := FaultModel(rnd.Intn(int(NumFaultModels)))
+			k := uint(rnd.Intn(64))
+			got, err := ev.EvalFault(in, fc.outs,
+				[]PackedFault{{Net: net, Model: model, Lanes: 1 << k}}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range fc.outs {
+				if diff := got[j] ^ clean[j]; diff&^(1<<k) != 0 {
+					t.Fatalf("%s: fault %s on %s in lane %d leaked into lanes %#x of output %d",
+						fc.name, model, fc.c.NetName(net), k, diff&^(1<<k), j)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedFaultAllLanesMatchesScalar: an all-lanes fault equals 64
+// independent scalar EvalFault runs, lane for lane, for every model — the
+// stuck-at/flip word masks implement exactly the scalar override.
+func TestPackedFaultAllLanesMatchesScalar(t *testing.T) {
+	for _, fc := range faultCircuits() {
+		rnd := rand.New(rand.NewSource(22))
+		ev := fc.c.PackedEvaluator()
+		vectors := make([][]bool, 64)
+		for k := range vectors {
+			vec := make([]bool, fc.c.NumInputs())
+			for j := range vec {
+				vec[j] = rnd.Intn(2) == 1
+			}
+			vectors[k] = vec
+		}
+		in := packBlock(vectors, fc.c.NumInputs())
+		nets := fc.c.Nets()
+		for trial := 0; trial < 16; trial++ {
+			net := nets[rnd.Intn(len(nets))]
+			for model := FaultModel(0); model < NumFaultModels; model++ {
+				got, err := ev.EvalFault(in, fc.outs,
+					[]PackedFault{{Net: net, Model: model, Lanes: ^uint64(0)}}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for k, vec := range vectors {
+					want, err := fc.c.EvalFault(vec, fc.outs, []Fault{{Net: net, Model: model}})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for j := range fc.outs {
+						if got[j]>>uint(k)&1 != 0 != want[j] {
+							t.Fatalf("%s: all-lanes %s on %s: lane %d output %d: packed %v, scalar %v",
+								fc.name, model, fc.c.NetName(net), k, j, !want[j], want[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedFaultSiteSweepMatchesScalar: the campaign's actual shape — 64
+// distinct (net, model) sites with disjoint single-lane masks in ONE packed
+// pass — equals the 64 corresponding single-fault scalar runs.
+func TestPackedFaultSiteSweepMatchesScalar(t *testing.T) {
+	for _, fc := range faultCircuits() {
+		rnd := rand.New(rand.NewSource(23))
+		ev := fc.c.PackedEvaluator()
+		vec := make([]bool, fc.c.NumInputs())
+		for j := range vec {
+			vec[j] = rnd.Intn(2) == 1
+		}
+		in := make([]uint64, len(vec))
+		for j, b := range vec {
+			in[j] = Broadcast(b)
+		}
+		nets := fc.c.Nets()
+		faults := make([]PackedFault, 64)
+		for k := range faults {
+			site := rnd.Intn(len(nets) * int(NumFaultModels))
+			faults[k] = PackedFault{
+				Net:   nets[site/int(NumFaultModels)],
+				Model: FaultModel(site % int(NumFaultModels)),
+				Lanes: 1 << uint(k),
+			}
+		}
+		got, err := ev.EvalFault(in, fc.outs, faults, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, f := range faults {
+			want, err := fc.c.EvalFault(vec, fc.outs, []Fault{{Net: f.Net, Model: f.Model}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range fc.outs {
+				if got[j]>>uint(k)&1 != 0 != want[j] {
+					t.Fatalf("%s: site sweep lane %d (%s on %s) output %d: packed %v, scalar %v",
+						fc.name, k, f.Model, fc.c.NetName(f.Net), j, !want[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestPackedFaultZeroLanes: a fault with an empty lane mask is a no-op.
+func TestPackedFaultZeroLanes(t *testing.T) {
+	r := KoggeStoneAdder(8)
+	outs := append(append(Word(nil), r.Sum...), r.Cout)
+	ev := r.C.PackedEvaluator()
+	rnd := rand.New(rand.NewSource(24))
+	in := make([]uint64, r.C.NumInputs())
+	for j := range in {
+		in[j] = rnd.Uint64()
+	}
+	clean, err := ev.Eval(in, outs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []FaultModel{StuckAt0, StuckAt1, Flip} {
+		got, err := ev.EvalFault(in, outs, []PackedFault{{Net: r.Sum[3], Model: m, Lanes: 0}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range outs {
+			if got[j] != clean[j] {
+				t.Fatalf("zero-lane %s fault changed output %d", m, j)
+			}
+		}
+	}
+}
+
+// TestPackedLintDanglingParity: the packed engine shares the scalar engine's
+// Circuit and topological order, so netlist lint findings — here a
+// deliberately dangling primary input — are identical under both engines,
+// and both engines still agree on every output of the flawed circuit.
+func TestPackedLintDanglingParity(t *testing.T) {
+	c := New()
+	a := c.Input()
+	dangling := c.Input() // never consumed
+	_ = dangling
+	out := c.Not(a)
+
+	issues := c.Lint(out)
+	if len(issues) != 1 || issues[0].Kind != "dangling-input" || issues[0].Node != dangling {
+		t.Fatalf("lint on the shared circuit: got %v, want one dangling-input on node %d", issues, dangling)
+	}
+	// The lint verdict is a property of the Circuit, not of an engine: both
+	// evaluation paths read the same netlist the lint just flagged, and both
+	// still evaluate it identically, dangling net and all.
+	ev := c.PackedEvaluator()
+	for v := 0; v < 4; v++ {
+		vec := []bool{v&1 != 0, v&2 != 0}
+		want, err := c.Eval(vec, []Node{out})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ev.Eval(packBlock([][]bool{vec}, 2), []Node{out}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0]&1 != 0 != want[0] {
+			t.Fatalf("engines disagree on the dangling-input circuit for input %d", v)
+		}
+	}
+}

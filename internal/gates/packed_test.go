@@ -1,0 +1,251 @@
+package gates
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The packed engine's correctness story is differential: lane k of every
+// PackedEval must equal a scalar Eval of lane k's assignment, for every
+// builder, width, and input pattern — valid digit encodings or not. The
+// scalar walk is the oracle; nothing here re-derives arithmetic.
+
+// builderCase adapts one netlist builder to the differential battery.
+type builderCase struct {
+	name  string
+	build func(w int) (*Circuit, []Node)
+}
+
+func builderCases() []builderCase {
+	return []builderCase{
+		{"ripple-carry", func(w int) (*Circuit, []Node) {
+			r := RippleCarryAdder(w)
+			return r.C, append(append([]Node(nil), r.Sum...), r.Cout)
+		}},
+		{"kogge-stone", func(w int) (*Circuit, []Node) {
+			r := KoggeStoneAdder(w)
+			return r.C, append(append([]Node(nil), r.Sum...), r.Cout)
+		}},
+		{"rb-adder", func(w int) (*Circuit, []Node) {
+			r := RBAdder(w)
+			outs := append(append([]Node(nil), r.SumPlus...), r.SumMinus...)
+			return r.C, append(outs, r.CoutPlus, r.CoutMinus)
+		}},
+		{"converter", func(w int) (*Circuit, []Node) {
+			r := RBToTCConverter(w)
+			return r.C, append([]Node(nil), r.Out...)
+		}},
+	}
+}
+
+// packBlock transposes up to 64 scalar assignments into per-input lane words.
+func packBlock(vectors [][]bool, inputs int) []uint64 {
+	in := make([]uint64, inputs)
+	for k, vec := range vectors {
+		for j, b := range vec {
+			if b {
+				in[j] |= 1 << uint(k)
+			}
+		}
+	}
+	return in
+}
+
+// checkBlock runs one block (possibly ragged, < 64 vectors) through the
+// packed engine and pins every lane to the scalar oracle.
+func checkBlock(t *testing.T, c *Circuit, outs []Node, ev *PackedEvaluator, vectors [][]bool) {
+	t.Helper()
+	got, err := ev.Eval(packBlock(vectors, c.NumInputs()), outs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, vec := range vectors {
+		want, err := c.Eval(vec, outs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range outs {
+			if got[j]>>uint(k)&1 != 0 != want[j] {
+				t.Fatalf("lane %d out %d: packed %v, scalar %v", k, j, !want[j], want[j])
+			}
+		}
+	}
+}
+
+// TestPackedEvalMatchesScalar is the differential battery: every builder at
+// widths 4/8/16/32/64, exhaustive over all input assignments at width 4 and
+// seeded-random at the wider widths, in lane blocks whose final block is
+// deliberately ragged.
+func TestPackedEvalMatchesScalar(t *testing.T) {
+	for _, bc := range builderCases() {
+		for _, w := range []int{4, 8, 16, 32, 64} {
+			c, outs := bc.build(w)
+			ev := c.PackedEvaluator()
+			if ni := c.NumInputs(); w == 4 && ni <= 16 {
+				// Exhaustive: every raw input assignment, valid encoding or
+				// not — the engines must agree on all of them.
+				total := 1 << uint(ni)
+				var block [][]bool
+				for v := 0; v < total; v++ {
+					vec := make([]bool, ni)
+					for j := range vec {
+						vec[j] = v>>uint(j)&1 != 0
+					}
+					block = append(block, vec)
+					if len(block) == 64 {
+						checkBlock(t, c, outs, ev, block)
+						block = block[:0]
+					}
+				}
+				if len(block) > 0 { // ragged tail (e.g. 2^8 % 64 == 0; 2^12 too — force below)
+					checkBlock(t, c, outs, ev, block)
+				}
+				continue
+			}
+			// Random blocks: two full blocks plus a ragged 23-lane tail.
+			rnd := rand.New(rand.NewSource(int64(w)*1000 + int64(len(bc.name))))
+			for _, lanes := range []int{64, 64, 23} {
+				block := make([][]bool, lanes)
+				for k := range block {
+					vec := make([]bool, c.NumInputs())
+					for j := range vec {
+						vec[j] = rnd.Intn(2) == 1
+					}
+					block[k] = vec
+				}
+				checkBlock(t, c, outs, ev, block)
+			}
+		}
+	}
+}
+
+// TestPackedEvalSingleLane pins the degenerate 1-vector block: a packed
+// evaluation with only lane 0 populated matches scalar Eval exactly.
+func TestPackedEvalSingleLane(t *testing.T) {
+	r := RBAdder(8)
+	outs := append(append([]Node(nil), r.SumPlus...), r.SumMinus...)
+	ev := r.C.PackedEvaluator()
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		vec := make([]bool, r.C.NumInputs())
+		for j := range vec {
+			vec[j] = rnd.Intn(2) == 1
+		}
+		checkBlock(t, r.C, outs, ev, [][]bool{vec})
+	}
+}
+
+// TestPackedEvalBadAssignment mirrors the scalar arity check.
+func TestPackedEvalBadAssignment(t *testing.T) {
+	r := RippleCarryAdder(4)
+	if _, err := r.C.PackedEval(make([]uint64, 3), Word{r.Sum[0]}); err == nil {
+		t.Fatal("expected error for wrong assignment arity")
+	}
+	if _, err := r.C.PackedEvalFault(make([]uint64, r.C.NumInputs()), Word{r.Sum[0]},
+		[]PackedFault{{Net: 1 << 20, Model: Flip, Lanes: 1}}); err == nil {
+		t.Fatal("expected error for out-of-range fault net")
+	}
+}
+
+// TestTranspose64 pins the bit-matrix transpose against the naive bit walk.
+func TestTranspose64(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	var a, want [64]uint64
+	for i := range a {
+		a[i] = rnd.Uint64()
+	}
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			want[i] |= a[j] >> uint(i) & 1 << uint(j)
+		}
+	}
+	got := a
+	Transpose64(&got)
+	if got != want {
+		t.Fatal("Transpose64 disagrees with the naive transpose")
+	}
+	// Involution: transposing twice restores the original.
+	Transpose64(&got)
+	if got != a {
+		t.Fatal("Transpose64 applied twice is not the identity")
+	}
+}
+
+// TestLaneHelpers pins LaneCounter, LaneWord, LaneMask, and PackLanes to
+// their definitional bit walks.
+func TestLaneHelpers(t *testing.T) {
+	for _, base := range []uint64{0, 64, 17, 0x1234_5678_9ABC_DE40, 0xFFFF_FFFF_FFFF_FFC3} {
+		for bit := 0; bit < 64; bit++ {
+			w := LaneCounter(base, bit)
+			for k := 0; k < 64; k++ {
+				if want := (base + uint64(k)) >> uint(bit) & 1; w>>uint(k)&1 != want {
+					t.Fatalf("LaneCounter(%#x, %d) lane %d = %d, want %d", base, bit, k, w>>uint(k)&1, want)
+				}
+			}
+		}
+	}
+	rnd := rand.New(rand.NewSource(9))
+	vals := make([]uint64, 37) // ragged on purpose
+	for i := range vals {
+		vals[i] = rnd.Uint64()
+	}
+	dst := make([]uint64, 64)
+	PackLanes(dst, vals, 64)
+	for k, v := range vals {
+		if got := LaneWord(dst, k); got != v {
+			t.Fatalf("PackLanes/LaneWord round trip: lane %d = %#x, want %#x", k, got, v)
+		}
+	}
+	for k := len(vals); k < 64; k++ {
+		if got := LaneWord(dst, k); got != 0 {
+			t.Fatalf("missing lane %d packed as %#x, want 0", k, got)
+		}
+	}
+	if LaneMask(64) != ^uint64(0) || LaneMask(0) != 0 || LaneMask(3) != 7 {
+		t.Fatal("LaneMask wrong")
+	}
+}
+
+// TestPackedEvalSteadyStateZeroAllocs is the allocation guard for the hot
+// sweep path (same pattern as core's TestSteadyStateIssueLoopZeroAllocs):
+// once the evaluator and its caller-side buffers exist, packed evaluation —
+// with and without faults — must allocate nothing per pass.
+func TestPackedEvalSteadyStateZeroAllocs(t *testing.T) {
+	r := RBAdder(64)
+	outs := append(append([]Node(nil), r.SumPlus...), r.SumMinus...)
+	outs = append(outs, r.CoutPlus, r.CoutMinus)
+	ev := r.C.PackedEvaluator()
+	in := make([]uint64, r.C.NumInputs())
+	rnd := rand.New(rand.NewSource(11))
+	for j := range in {
+		in[j] = rnd.Uint64() &^ in[j]
+	}
+	faults := make([]PackedFault, 64)
+	nets := r.C.Nets()
+	for k := range faults {
+		faults[k] = PackedFault{Net: nets[k%len(nets)], Model: FaultModel(k % 3), Lanes: 1 << uint(k)}
+	}
+	dst := make([]uint64, 0, len(outs))
+	// Warm once (fault buffer growth), then demand zero steady-state allocs.
+	if _, err := ev.EvalFault(in, outs, faults, dst[:0]); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		dst, err = ev.EvalFault(in, outs, faults, dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("packed EvalFault allocates %.1f per pass in steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		dst, err = ev.Eval(in, outs, dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("packed Eval allocates %.1f per pass in steady state, want 0", allocs)
+	}
+}

@@ -39,21 +39,24 @@ func (s CacheStats) MissRate() float64 {
 
 // Cache is a set-associative, write-back, write-allocate cache model with
 // true-LRU replacement. It tracks tags only (timing model; data values come
-// from the functional emulator).
+// from the functional emulator). Line state is split into parallel arrays —
+// 10 bytes per line instead of a 16-byte padded struct — because simulator
+// construction zeroes every line and fault campaigns build simulators in a
+// loop.
 type Cache struct {
 	cfg    CacheConfig
 	sets   int
-	lines  []cacheLine // sets * ways
+	tags   []uint64 // sets * ways
+	flags  []uint8  // sets * ways: valid | dirty<<1
+	lru    []uint8  // sets * ways: saturating age, 0 = most recent
 	stats  CacheStats
 	offLSB uint // log2(LineBytes)
 }
 
-type cacheLine struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	lru   uint8
-}
+const (
+	lineValid = 1 << 0
+	lineDirty = 1 << 1
+)
 
 // NewCache validates the configuration and builds an empty cache.
 func NewCache(cfg CacheConfig) (*Cache, error) {
@@ -68,7 +71,12 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 	if sets&(sets-1) != 0 {
 		return nil, fmt.Errorf("mem: set count %d is not a power of two", sets)
 	}
-	c := &Cache{cfg: cfg, sets: sets, lines: make([]cacheLine, sets*cfg.Ways)}
+	c := &Cache{
+		cfg: cfg, sets: sets,
+		tags:  make([]uint64, sets*cfg.Ways),
+		flags: make([]uint8, sets*cfg.Ways),
+		lru:   make([]uint8, sets*cfg.Ways),
+	}
 	for n := cfg.LineBytes; n > 1; n >>= 1 {
 		c.offLSB++
 	}
@@ -116,31 +124,33 @@ func (c *Cache) Access(addr uint64, write bool) (hit, writeback bool) {
 	base := set * c.cfg.Ways
 	victim := 0
 	for w := 0; w < c.cfg.Ways; w++ {
-		l := &c.lines[base+w]
-		if l.valid && l.tag == tag {
+		i := base + w
+		if c.flags[i]&lineValid != 0 && c.tags[i] == tag {
 			c.touch(base, w)
 			if write {
-				l.dirty = true
+				c.flags[i] |= lineDirty
 			}
 			c.stats.Hits++
 			return true, false
 		}
-		if !c.lines[base+victim].valid {
+		if c.flags[base+victim]&lineValid == 0 {
 			continue
 		}
-		if !l.valid || l.lru > c.lines[base+victim].lru {
+		if c.flags[i]&lineValid == 0 || c.lru[i] > c.lru[base+victim] {
 			victim = w
 		}
 	}
 	c.stats.Misses++
-	l := &c.lines[base+victim]
-	writeback = l.valid && l.dirty
+	i := base + victim
+	writeback = c.flags[i]&(lineValid|lineDirty) == lineValid|lineDirty
 	if writeback {
 		c.stats.Writebacks++
 	}
-	l.tag = tag
-	l.valid = true
-	l.dirty = write
+	c.tags[i] = tag
+	c.flags[i] = lineValid
+	if write {
+		c.flags[i] |= lineDirty
+	}
 	c.touch(base, victim)
 	return false, writeback
 }
@@ -151,8 +161,7 @@ func (c *Cache) Probe(addr uint64) bool {
 	tag := c.tagOf(addr)
 	base := set * c.cfg.Ways
 	for w := 0; w < c.cfg.Ways; w++ {
-		l := &c.lines[base+w]
-		if l.valid && l.tag == tag {
+		if c.flags[base+w]&lineValid != 0 && c.tags[base+w] == tag {
 			return true
 		}
 	}
@@ -162,9 +171,9 @@ func (c *Cache) Probe(addr uint64) bool {
 func (c *Cache) touch(base, way int) {
 	for w := 0; w < c.cfg.Ways; w++ {
 		if w == way {
-			c.lines[base+w].lru = 0
-		} else if c.lines[base+w].lru < 255 {
-			c.lines[base+w].lru++
+			c.lru[base+w] = 0
+		} else if c.lru[base+w] < 255 {
+			c.lru[base+w]++
 		}
 	}
 }
@@ -174,8 +183,8 @@ func (c *Cache) Stats() CacheStats { return c.stats }
 
 // Reset clears contents and counters.
 func (c *Cache) Reset() {
-	for i := range c.lines {
-		c.lines[i] = cacheLine{}
-	}
+	clear(c.tags)
+	clear(c.flags)
+	clear(c.lru)
 	c.stats = CacheStats{}
 }

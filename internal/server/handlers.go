@@ -334,11 +334,21 @@ func checkLayer(layer string, opts check.Options) ([]check.Report, error) {
 //
 //	GET /v1/check?layer=adders
 //	GET /v1/check?layer=all&full=true&seed=7
+//	GET /v1/check?layer=adders&engine=scalar
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	layer := q.Get("layer")
 	if layer == "" {
 		layer = "all"
+	}
+	engine := q.Get("engine")
+	if engine == "" {
+		engine = "packed"
+	}
+	if engine != "packed" && engine != "scalar" {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("bad engine %q (want packed or scalar)", engine))
+		return
 	}
 	full, err := boolParam(q.Get("full"))
 	if err != nil {
@@ -360,9 +370,9 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("unknown layer %q (want all, oracle, invariants, backends, adders, converter, ops, or faults)", layer))
 		return
 	}
-	key := strings.Join([]string{"check", layer, strconv.FormatBool(full), strconv.FormatInt(seed, 10)}, "|")
+	key := strings.Join([]string{"check", layer, strconv.FormatBool(full), strconv.FormatInt(seed, 10), engine}, "|")
 	s.serveCached(w, r, key, func() (cachedResponse, error) {
-		opts := check.Options{Full: full, Seed: seed}
+		opts := check.Options{Full: full, Seed: seed, ScalarGates: engine == "scalar"}
 		var (
 			reports []check.Report
 			lerr    error

@@ -15,7 +15,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH='Figure9$|Figure11$|Figure13$|SimulatorThroughput$|ServerThroughput$|FaultCampaign$'
+BENCH='Figure9$|Figure11$|Figure13$|SimulatorThroughput$|ServerThroughput$|FaultCampaign$|PackedEval'
 COUNT=3
 OUT=''
 

@@ -20,6 +20,13 @@ go run ./cmd/rbcheck -quick
 # single digit flips, full watchdog recovery) plus the deterministic
 # service-chaos outcome counts; non-zero exit on any regression.
 go run ./cmd/rbfault -quick >/dev/null
+# Fuzz smoke leg: a few seconds of coverage-guided search on the
+# differential fuzz targets — the packed 64-lane engine vs the scalar
+# oracle, plus the adder-equivalence and lockstep targets. Any minimized
+# crasher lands in testdata/fuzz and replays as a regular test case.
+go test -run '^$' -fuzz '^FuzzPackedEvalEquivalence$' -fuzztime 5s ./internal/gates/
+go test -run '^$' -fuzz '^FuzzAdderEquivalence$' -fuzztime 5s ./internal/check/
+go test -run '^$' -fuzz '^FuzzLockstep$' -fuzztime 5s ./internal/check/
 # Focused race leg: the packages with real cross-goroutine traffic (worker
 # pool, response cache, HTTP service, fault campaigns) get a second -race
 # shake beyond the one-shot full run above, to catch schedule-dependent
