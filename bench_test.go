@@ -22,6 +22,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/gates"
 	"repro/internal/isa"
+	"repro/internal/lint"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/rb"
@@ -619,4 +620,39 @@ func BenchmarkPackedEval(b *testing.B) {
 		}
 		b.ReportMetric(1, "lanes/op")
 	})
+}
+
+// --- Static analysis -------------------------------------------------------
+
+// BenchmarkLintAll runs the full rblint analyzer set — the v1 syntactic
+// rules plus the CFG/dataflow engine (lockstate, goleak, hotalloc,
+// bypasshole and the determinism taint pass) — over every package of this
+// module, loader included, so the recorded number is the true cost of the CI
+// leg. The committed tree must lint clean; any finding fails the benchmark.
+func BenchmarkLintAll(b *testing.B) {
+	root, module, err := lint.FindModule(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		l := lint.NewLoader(root, module)
+		paths, err := l.Expand([]string{"./..."})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, errs := l.LoadAll(paths)
+		if len(errs) > 0 {
+			b.Fatal(errs[0])
+		}
+		diags, timings := lint.ApplyTimed(prog, lint.Analyzers())
+		if len(diags) != 0 {
+			b.Fatalf("tree does not lint clean: %s", diags[0])
+		}
+		if i == b.N-1 {
+			for _, tm := range timings {
+				b.ReportMetric(tm.Millis, tm.Analyzer+"-ms")
+			}
+			b.ReportMetric(float64(len(prog.Pkgs)), "packages")
+		}
+	}
 }

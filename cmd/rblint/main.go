@@ -11,6 +11,12 @@
 //     global math/rand state, or feed map-iteration order into reports.
 //   - opcoverage: every ISA opcode must be handled by the functional
 //     emulator's dispatch and by the differential-check equivalence tables.
+//   - lockstate: no mutex held across a blocking operation, and no
+//     unlock-missing-on-early-return path (CFG/dataflow).
+//   - goleak: every goroutine has a ctx/done/close escape path.
+//   - hotalloc: no allocation sites in //rblint:hotpath functions.
+//   - bypasshole: constant bypass.Schedule literals satisfy the paper's
+//     Fig.-14 hole constraints.
 //
 // Netlist analyzers (internal/gates) over the built adder circuits:
 // structural lint (cycles, dangling inputs, unused gates) and the static
@@ -19,13 +25,16 @@
 //
 // Usage:
 //
-//	rblint [-json] [packages...]
+//	rblint [-json] [-rules r1,r2] [-list] [packages...]
 //
 // Package patterns follow the usual shapes ("./...", "./internal/rb", a
-// directory); the default is ./... from the module root. A finding on a line
-// marked //rblint:allow <rule> is suppressed. The exit status is 0 iff no
-// findings and every depth budget holds, so the tier-1 CI gate can run it
-// directly.
+// directory); the default is ./... from the module root. -rules restricts
+// the run to a comma-separated subset; -list prints the rule set and exits.
+// A finding on a line marked //rblint:allow <rule> is suppressed. The exit
+// status is 0 iff no findings, no load errors, and every depth budget holds,
+// so the tier-1 CI gate can run it directly. A package that fails to load is
+// reported and skipped — findings from the packages that did load are still
+// printed, and the run fails exactly once.
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/gates"
 	"repro/internal/lint"
@@ -43,12 +53,27 @@ type report struct {
 	Passed      bool               `json:"passed"`
 	Diagnostics []lint.Diagnostic  `json:"diagnostics"`
 	LoadErrors  []string           `json:"load_errors,omitempty"`
+	Timings     []lint.RuleTiming  `json:"timings"`
 	Netlist     *gates.DepthReport `json:"netlist"`
 }
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := flag.Bool("list", false, "list the available rules and exit")
 	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := selectRules(analyzers, *rules)
+	if err != nil {
+		fatal(err)
+	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
@@ -68,14 +93,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := loader.LoadAll(paths)
-	if err != nil {
-		fatal(err)
-	}
+	// Load errors no longer abort the run: the packages that did load are
+	// analyzed and their findings reported alongside the errors, so a broken
+	// directory cannot mask findings elsewhere in the tree.
+	prog, loadErrs := loader.LoadAll(paths)
 
-	rep := report{
-		Diagnostics: lint.Apply(prog, lint.Analyzers()),
-		Netlist:     gates.CheckDepthBudgets(),
+	rep := report{Netlist: gates.CheckDepthBudgets()}
+	rep.Diagnostics, rep.Timings = lint.ApplyTimed(prog, analyzers)
+	for _, e := range loadErrs {
+		rep.LoadErrors = append(rep.LoadErrors, e.Error())
 	}
 	// A package that fails to type-check can hide findings; surface it as a
 	// failure rather than silently analyzing less.
@@ -104,13 +130,40 @@ func main() {
 		}
 		printNetlist(rep.Netlist)
 		if rep.Passed {
-			fmt.Printf("rblint: %d packages, %d netlists: clean\n",
-				len(prog.Pkgs), len(rep.Netlist.Entries))
+			fmt.Printf("rblint: %d packages, %d rules, %d netlists: clean\n",
+				len(prog.Pkgs), len(analyzers), len(rep.Netlist.Entries))
 		}
 	}
 	if !rep.Passed {
 		os.Exit(1)
 	}
+}
+
+// selectRules filters the analyzer set by the -rules flag value.
+func selectRules(all []*lint.Analyzer, spec string) ([]*lint.Analyzer, error) {
+	if spec == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (run rblint -list)", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-rules %q selects no rules", spec)
+	}
+	return out, nil
 }
 
 // printNetlist renders netlist findings and the depth table (findings and

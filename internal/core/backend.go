@@ -103,6 +103,8 @@ func (s *Simulator) earliestReadyFrom(u *uop, from int64) int64 {
 // issuePoll performs wakeup and select for every scheduler by re-evaluating
 // every resident entry (the BackendPoll oracle), then executes the granted
 // instructions oldest-first up to the select width.
+//
+//rblint:hotpath per-cycle issue loop; TestSteadyStateIssueZeroAllocs pins 0 allocs/cycle
 func (s *Simulator) issuePoll(cycle int64) {
 	for si := range s.scheds {
 		granted := 0
@@ -134,6 +136,8 @@ func (s *Simulator) issuePoll(cycle int64) {
 // and ungranted leftovers are re-validated against the next cycle (an entry
 // whose source availability falls into a hole leaves the ready list and
 // re-enters the calendar at its next obtainable cycle).
+//
+//rblint:hotpath per-cycle issue loop; calBuf reuse keeps the calendar pop allocation-free
 func (s *Simulator) issueEvent(cycle int64) {
 	// Deliver this cycle's wakeups.
 	s.calBuf = s.cal.Pop(cycle, s.calBuf[:0])

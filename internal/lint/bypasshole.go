@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+const bypassholeRule = "bypasshole"
+
+// bypassPkgPath is the package whose Schedule type encodes Figure-8
+// availability patterns; the constants below mirror its exported values and
+// are asserted against the real package in the analyzer tests.
+const bypassPkgPath = "repro/internal/bypass"
+
+// Paper constants (§4–5): a full network has three bypass levels, and the
+// 2-cycle register file serves every offset from NumLevels+1 on.
+const (
+	bypassNumLevels = 3
+	bypassRFOffset  = bypassNumLevels + 1
+)
+
+// BypassHole statically checks every bypass.Schedule built from constant
+// literals against the paper's Figure-14 hole constraints. A Schedule is the
+// initial content of a Figure-8 countdown shift register, so an impossible
+// pattern is a hardware description bug, not a tuning choice:
+//
+//   - bit 0 of LevelMask forwards a result in its own production cycle — a
+//     forwarding path shorter than the RB conversion latency (the value does
+//     not exist yet);
+//   - bits above NumLevels name bypass levels the network does not have;
+//   - LevelMask != 0 with RFFrom == 0 describes a value that is transient
+//     forever: once the last bypass level drains, NextAvailable returns -1
+//     and the event scheduler parks the consumer as a stuck waiter (the
+//     poll oracle spins it forever) — every real schedule has a
+//     register-file tail;
+//   - RFFrom > NumLevels+1 fabricates extra holes the 2-cycle register file
+//     cannot produce: the file serves every offset from RFOffset on, so a
+//     later RFFrom claims the file withholds a written value.
+//
+// Schedules built from non-constant expressions (machine.Config folds
+// latency-class fields in at runtime) are outside the rule's reach and are
+// covered dynamically by the Figure-14 tests in internal/bypass and
+// internal/sched.
+var BypassHole = &Analyzer{
+	Name: bypassholeRule,
+	Doc:  "check constant bypass.Schedule literals against the paper's Fig.-14 hole constraints",
+	Run:  runBypassHole,
+}
+
+func runBypassHole(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if !isBypassSchedule(pkg.TypesInfo.TypeOf(lit)) {
+				return true
+			}
+			mask, rf, allConst := scheduleFields(pkg, lit)
+			if !allConst {
+				return true // runtime-built schedule: dynamic tests own it
+			}
+			out = append(out, checkSchedule(pkg, lit, mask, rf)...)
+			return true
+		})
+	}
+	return out
+}
+
+// isBypassSchedule reports whether t is bypass.Schedule.
+func isBypassSchedule(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Schedule" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == bypassPkgPath
+}
+
+// scheduleFields extracts the constant LevelMask and RFFrom values from the
+// literal. Omitted fields are the zero value; a field whose value the type
+// checker could not fold to a constant makes the whole literal non-constant.
+func scheduleFields(pkg *Package, lit *ast.CompositeLit) (mask, rf int64, allConst bool) {
+	field := func(e ast.Expr) (int64, bool) {
+		tv, ok := pkg.TypesInfo.Types[e]
+		if !ok || tv.Value == nil {
+			return 0, false
+		}
+		v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+		return v, exact
+	}
+	for i, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			name, _ := kv.Key.(*ast.Ident)
+			if name == nil {
+				return 0, 0, false
+			}
+			v, ok := field(kv.Value)
+			if !ok {
+				return 0, 0, false
+			}
+			switch name.Name {
+			case "LevelMask":
+				mask = v
+			case "RFFrom":
+				rf = v
+			}
+			continue
+		}
+		// Positional literal: field order is (LevelMask, RFFrom).
+		v, ok := field(el)
+		if !ok {
+			return 0, 0, false
+		}
+		switch i {
+		case 0:
+			mask = v
+		case 1:
+			rf = v
+		}
+	}
+	return mask, rf, true
+}
+
+// checkSchedule applies the Fig.-14 constraints to one constant schedule.
+func checkSchedule(pkg *Package, lit *ast.CompositeLit, mask, rf int64) []Diagnostic {
+	var out []Diagnostic
+	if mask&1 != 0 {
+		out = append(out, pkg.diag(lit.Pos(), bypassholeRule,
+			"LevelMask bit 0 forwards a result in its production cycle — shorter than the RB conversion latency; bypass offsets start at 1 (Fig. 14)"))
+	}
+	if mask>>(bypassNumLevels+1) != 0 {
+		out = append(out, pkg.diag(lit.Pos(), bypassholeRule,
+			"LevelMask names a bypass level above %d; the network has no such level (Fig. 14)", bypassNumLevels))
+	}
+	if rf < 0 {
+		out = append(out, pkg.diag(lit.Pos(), bypassholeRule,
+			"RFFrom %d is negative; use 0 for never-available or an offset >= 1", rf))
+	}
+	if mask != 0 && rf == 0 {
+		out = append(out, pkg.diag(lit.Pos(), bypassholeRule,
+			"schedule has bypass levels but no register-file tail (RFFrom 0): the value becomes permanently unobtainable once the last level drains and the scheduler parks its consumer as a stuck waiter"))
+	}
+	if rf > bypassRFOffset {
+		out = append(out, pkg.diag(lit.Pos(), bypassholeRule,
+			"RFFrom %d fabricates a hole the 2-cycle register file cannot produce: the file serves every offset from %d on (Fig. 14)", rf, bypassRFOffset))
+	}
+	return out
+}

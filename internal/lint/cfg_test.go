@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestCFGGolden pins the block structure the builder produces for each
+// construction case in the cfgfix fixture (defer, panic, labeled break,
+// select, goto, fallthrough). A builder change that reshapes any graph shows
+// up as a golden diff.
+func TestCFGGolden(t *testing.T) {
+	l := newTestLoader(t)
+	prog := loadProgram(t, l, "cfgfix")
+	pkg := prog.Pkgs[0]
+	var sb strings.Builder
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fmt.Fprintf(&sb, "=== %s ===\n", fd.Name.Name)
+			sb.WriteString(BuildCFG(fd.Body).Dump(pkg.Fset))
+		}
+	}
+	checkGolden(t, "cfg.golden", sb.String())
+}
+
+// TestCFGDefersOnPanicPath: the panic exit must still see the function's
+// defers — that is the guarantee lockstate's deferred-unlock discharge
+// relies on.
+func TestCFGDefersOnPanicPath(t *testing.T) {
+	cfg := buildCFGFromSrc(t, `
+		mu.Lock()
+		defer mu.Unlock()
+		if bad {
+			panic("boom")
+		}
+		mu.Unlock()
+	`)
+	if len(cfg.Defers) != 1 {
+		t.Fatalf("want 1 recorded defer, got %d", len(cfg.Defers))
+	}
+	// The block containing the panic must edge straight to Exit.
+	found := false
+	for _, bl := range cfg.Blocks {
+		for _, n := range bl.Nodes {
+			if isPanicCall(n) {
+				for _, s := range bl.Succs {
+					if s == cfg.Exit {
+						found = true
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("panic statement's block has no edge to Exit")
+	}
+}
+
+// TestCFGReachablePrunesDeadCode: statements after an unconditional return
+// land in a block Reachable() excludes.
+func TestCFGReachablePrunesDeadCode(t *testing.T) {
+	cfg := buildCFGFromSrc(t, `
+		return
+		dead()
+	`)
+	reach := map[int]bool{}
+	for _, bl := range cfg.Reachable() {
+		reach[bl.Index] = true
+	}
+	for _, bl := range cfg.Blocks {
+		if bl.Kind == "unreachable" && reach[bl.Index] {
+			t.Errorf("unreachable block b%d reported reachable", bl.Index)
+		}
+	}
+}
+
+// buildCFGFromSrc parses a function body and builds its CFG.
+func buildCFGFromSrc(t *testing.T, body string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	src := "package p\nfunc f(mu interface{ Lock(); Unlock() }, bad bool) {\n" + body + "\n}"
+	file, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+// stepLattice is a trivial monotone lattice (max of a capped counter) used
+// to drive the solver over arbitrary CFGs: it must always converge, so any
+// ErrNoFixpoint under fuzz is a solver or builder bug.
+type stepLattice struct{}
+
+func (stepLattice) Bottom() int { return 0 }
+func (stepLattice) Entry() int  { return 1 }
+func (stepLattice) Join(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+func (stepLattice) Equal(a, b int) bool { return a == b }
+func (stepLattice) Transfer(n ast.Node, in int) int {
+	if in < 8 {
+		return in + 1
+	}
+	return 8
+}
+
+// FuzzCFGSolver feeds arbitrary parseable function bodies through BuildCFG
+// and Solve, pinning two properties: construction never panics, and the
+// solver terminates (reaching a fixpoint — never the budget backstop) for a
+// finite monotone lattice, whatever the control flow looks like.
+func FuzzCFGSolver(f *testing.F) {
+	seeds := []string{
+		"x := 1\n_ = x",
+		"for {\n}",
+		"for i := 0; i < 10; i++ {\nif i == 3 {\ncontinue\n}\nif i == 5 {\nbreak\n}\n}",
+		"outer:\nfor i := range xs {\nfor j := range xs {\nif i == j {\nbreak outer\n}\n}\n}",
+		"select {\ncase v := <-ch:\n_ = v\ncase ch <- 1:\ndefault:\n}",
+		"defer f()\nif bad {\npanic(\"x\")\n}",
+		"goto l\nl:\nreturn",
+		"l:\nx++\nif x < 10 {\ngoto l\n}",
+		"switch x {\ncase 1:\nfallthrough\ncase 2:\nreturn\ndefault:\n}",
+		"for range m {\nbreak\n}",
+		"select {}",
+		"go func() {\nfor {\n}\n}()",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		fset := token.NewFileSet()
+		src := "package p\nfunc f() {\n" + body + "\n}"
+		file, err := parser.ParseFile(fset, "fuzz.go", src, 0)
+		if err != nil {
+			t.Skip()
+		}
+		fd, ok := file.Decls[0].(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			t.Skip()
+		}
+		cfg := BuildCFG(fd.Body)
+		for i, bl := range cfg.Blocks {
+			if bl.Index != i {
+				t.Fatalf("block %d has index %d", i, bl.Index)
+			}
+			for _, s := range bl.Succs {
+				if s.Index < 0 || s.Index >= len(cfg.Blocks) {
+					t.Fatalf("block b%d has out-of-range successor %d", i, s.Index)
+				}
+			}
+		}
+		if _, err := Solve[int](cfg, stepLattice{}); err != nil {
+			t.Fatalf("solver did not terminate on a finite monotone lattice: %v", err)
+		}
+	})
+}

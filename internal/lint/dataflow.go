@@ -1,0 +1,113 @@
+package lint
+
+// A generic forward dataflow solver over the CFGs built in cfg.go. Analyses
+// supply a join-semilattice of facts and a per-node transfer function; the
+// solver iterates block transfers to a fixpoint with a worklist seeded in
+// reverse post-order. Termination is the analyses' obligation (finite
+// lattice height, monotone transfer) but the solver enforces a generous
+// pass budget as a backstop, so a buggy lattice surfaces as an error instead
+// of a hang — the property FuzzCFGSolver pins for arbitrary parseable input.
+
+import (
+	"errors"
+	"go/ast"
+)
+
+// Lattice is the abstract domain of one dataflow analysis.
+type Lattice[F any] interface {
+	// Bottom is the "no information" fact seeded into every block.
+	Bottom() F
+	// Entry is the fact holding at function entry.
+	Entry() F
+	// Join combines facts at a control-flow merge. It must be commutative,
+	// associative, and idempotent, and must not mutate its arguments.
+	Join(a, b F) F
+	// Equal reports whether two facts carry the same information (the
+	// solver's fixpoint test).
+	Equal(a, b F) bool
+	// Transfer produces the fact after executing one CFG node. It must not
+	// mutate in.
+	Transfer(n ast.Node, in F) F
+}
+
+// ErrNoFixpoint is returned when the solver exhausts its pass budget, which
+// for a finite monotone lattice cannot happen; it indicates a broken
+// Join/Transfer/Equal contract.
+var ErrNoFixpoint = errors.New("lint: dataflow solver did not reach a fixpoint")
+
+// Solve runs the forward analysis and returns the fact holding at the entry
+// of each block (indexed by Block.Index).
+func Solve[F any](cfg *CFG, lat Lattice[F]) ([]F, error) {
+	n := len(cfg.Blocks)
+	in := make([]F, n)
+	for i := range in {
+		in[i] = lat.Bottom()
+	}
+	in[cfg.Entry.Index] = lat.Entry()
+
+	order := postOrder(cfg)
+	// Reverse post-order: process a block before its successors where
+	// possible, so loop-free code converges in one pass.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	inQueue := make([]bool, n)
+	queue := make([]*Block, 0, len(order))
+	for _, bl := range order {
+		queue = append(queue, bl)
+		inQueue[bl.Index] = true
+	}
+
+	// Pass budget: every block can be revisited once per lattice-height
+	// step; a generous multiplier covers fact domains whose height scales
+	// with the number of tracked objects.
+	budget := 256 * (n + 1)
+	for len(queue) > 0 {
+		if budget--; budget < 0 {
+			return in, ErrNoFixpoint
+		}
+		bl := queue[0]
+		queue = queue[1:]
+		inQueue[bl.Index] = false
+
+		out := blockTransfer(lat, bl, in[bl.Index])
+		for _, s := range bl.Succs {
+			joined := lat.Join(in[s.Index], out)
+			if !lat.Equal(joined, in[s.Index]) {
+				in[s.Index] = joined
+				if !inQueue[s.Index] {
+					inQueue[s.Index] = true
+					queue = append(queue, s)
+				}
+			}
+		}
+	}
+	return in, nil
+}
+
+// blockTransfer folds the block's nodes through the transfer function.
+func blockTransfer[F any](lat Lattice[F], bl *Block, f F) F {
+	for _, n := range bl.Nodes {
+		f = lat.Transfer(n, f)
+	}
+	return f
+}
+
+// postOrder returns the blocks reachable from Entry in depth-first
+// post-order.
+func postOrder(cfg *CFG) []*Block {
+	seen := make([]bool, len(cfg.Blocks))
+	var out []*Block
+	var visit func(bl *Block)
+	visit = func(bl *Block) {
+		seen[bl.Index] = true
+		for _, s := range bl.Succs {
+			if !seen[s.Index] {
+				visit(s)
+			}
+		}
+		out = append(out, bl)
+	}
+	visit(cfg.Entry)
+	return out
+}

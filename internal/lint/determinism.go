@@ -25,6 +25,14 @@ const determinismRule = "determinism"
 //     sorted key slice instead. Collecting into a slice that is afterwards
 //     passed to a sort call is the sanctioned fix and is not flagged.
 //
+// The map-order check runs at two levels: the syntactic pass flags sinks
+// inside the range body itself, and a dataflow pass (taint.go, on the §14
+// CFG solver) follows values that carry iteration order through one level
+// of intraprocedural assignment — the variable captured in the loop and
+// printed after it, the shape of the PR-2 figure1 ordering bug. A sort
+// call on the tainted value launders it; reassignment from a clean
+// right-hand side kills the taint.
+//
 // Wall-clock timing that is genuinely wanted (the check suite's duration
 // reporting) is marked with //rblint:allow determinism at the call site.
 var Determinism = &Analyzer{
@@ -87,6 +95,12 @@ func runDeterminism(pkg *Package) []Diagnostic {
 				}
 			case *ast.RangeStmt:
 				out = append(out, pkg.checkMapRange(f, n)...)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					out = append(out, pkg.taintMapOrder(n.Body)...)
+				}
+			case *ast.FuncLit:
+				out = append(out, pkg.taintMapOrder(n.Body)...)
 			}
 			return true
 		})

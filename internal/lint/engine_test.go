@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/constant"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// Golden tests for the four CFG/dataflow analyzers. Each loads a "bad"
+// fixture (every finding pinned in the golden file) and an "ok" fixture
+// (clean patterns plus one allow-suppressed true positive each); an "ok"
+// path appearing in the rendered output fails the test.
+
+func TestLockstateGolden(t *testing.T) {
+	l := newTestLoader(t)
+	prog := loadProgram(t, l, "lockstatebad", "lockstateok")
+	diags := Apply(prog, []*Analyzer{Lockstate})
+	if len(diags) == 0 {
+		t.Fatal("seeded lockstate violations produced no diagnostics")
+	}
+	got := render(t, l, diags)
+	if strings.Contains(got, "lockstateok") {
+		t.Errorf("negative fixture was flagged:\n%s", got)
+	}
+	checkGolden(t, "lockstate.golden", got)
+}
+
+func TestGoleakGolden(t *testing.T) {
+	l := newTestLoader(t)
+	prog := loadProgram(t, l, "goleakbad", "goleakok")
+	diags := Apply(prog, []*Analyzer{Goleak})
+	if len(diags) == 0 {
+		t.Fatal("seeded goroutine leaks produced no diagnostics")
+	}
+	got := render(t, l, diags)
+	if strings.Contains(got, "goleakok") {
+		t.Errorf("negative fixture was flagged:\n%s", got)
+	}
+	checkGolden(t, "goleak.golden", got)
+}
+
+func TestHotAllocGolden(t *testing.T) {
+	l := newTestLoader(t)
+	prog := loadProgram(t, l, "hotallocbad", "hotallocok")
+	diags := Apply(prog, []*Analyzer{HotAlloc})
+	if len(diags) == 0 {
+		t.Fatal("seeded hotpath allocations produced no diagnostics")
+	}
+	got := render(t, l, diags)
+	if strings.Contains(got, "hotallocok") {
+		t.Errorf("negative fixture was flagged:\n%s", got)
+	}
+	if strings.Contains(got, "not flagged: unreachable") || strings.Contains(got, "deadTail") {
+		t.Errorf("allocation in dead code was flagged:\n%s", got)
+	}
+	checkGolden(t, "hotalloc.golden", got)
+}
+
+func TestBypassHoleGolden(t *testing.T) {
+	l := newTestLoader(t)
+	prog := loadProgram(t, l, "bypassholebad", "bypassholeok")
+	diags := Apply(prog, []*Analyzer{BypassHole})
+	if len(diags) == 0 {
+		t.Fatal("seeded Fig.-14 violations produced no diagnostics")
+	}
+	got := render(t, l, diags)
+	if strings.Contains(got, "bypassholeok") {
+		t.Errorf("negative fixture was flagged:\n%s", got)
+	}
+	checkGolden(t, "bypasshole.golden", got)
+}
+
+// TestDeterminismFlowGolden exercises the taint upgrade: map-iteration order
+// escaping the loop through assignments before reaching ordered output —
+// including the figure1 regression shape — with the collect-then-sort and
+// reassignment patterns staying clean.
+func TestDeterminismFlowGolden(t *testing.T) {
+	l := newTestLoader(t)
+	prog := loadProgram(t, l, "determinismflow")
+	diags := Apply(prog, []*Analyzer{Determinism})
+	if len(diags) == 0 {
+		t.Fatal("map-order escapes produced no diagnostics")
+	}
+	// Exactly the two escapes (figure1 shape and the indirect assignment):
+	// collect-then-sort, the clean reassignment, and the allow-suppressed
+	// probe must all stay silent.
+	if len(diags) != 2 {
+		t.Errorf("want 2 findings, got %d:\n%s", len(diags), render(t, l, diags))
+	}
+	checkGolden(t, "determinismflow.golden", render(t, l, diags))
+}
+
+// TestBypassHoleConstantsMatch pins the analyzer's private mirror of the
+// bypass package's geometry to the real exported values: if NumLevels or
+// RFOffset ever changes, this fails before the rule silently drifts.
+func TestBypassHoleConstantsMatch(t *testing.T) {
+	l := newTestLoader(t)
+	pkg, err := l.Load(l.Module + "/internal/bypass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.TypeError != nil {
+		t.Fatal(pkg.TypeError)
+	}
+	for name, want := range map[string]int64{
+		"NumLevels": bypassNumLevels,
+		"RFOffset":  bypassRFOffset,
+	} {
+		obj, ok := pkg.Types.Scope().Lookup(name).(*types.Const)
+		if !ok {
+			t.Fatalf("bypass.%s is not an exported constant", name)
+		}
+		got, exact := constant.Int64Val(constant.ToInt(obj.Val()))
+		if !exact || got != want {
+			t.Errorf("bypass.%s = %d, analyzer mirror = %d", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const goleakRule = "goleak"
+
+// Goleak flags `go` statements that start a goroutine with no way out: a
+// body that loops forever (or ranges over a channel) without any of the
+// escape paths the serving layer's shutdown protocol relies on —
+//
+//   - a reference to a context.Context (the goroutine can observe
+//     cancellation),
+//   - a receive from / range over a channel that is close()d somewhere in
+//     the same package (the pool's worker/Close protocol),
+//   - a return or break that leaves the loop.
+//
+// This is the static form of the Submit-vs-Close class of leak PR 4–5
+// chased with -race re-runs and goroutine-count assertions: a worker that
+// never observes shutdown keeps the process (and its locks and sockets)
+// alive after Close. Method values launched on goroutines resolve through
+// the package's own declarations; goroutines running closures are analyzed
+// in place.
+var Goleak = &Analyzer{
+	Name: goleakRule,
+	Doc:  "forbid goroutines with no ctx/done/close escape path (leak on shutdown)",
+	Run:  runGoleak,
+}
+
+func runGoleak(pkg *Package) []Diagnostic {
+	closed := closedChannels(pkg)
+	decls := packageFuncDecls(pkg)
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goroutineBody(pkg, gs, decls)
+			if body == nil {
+				return true // cross-package or dynamic target: out of scope
+			}
+			if reason := leakReason(pkg, body, closed); reason != "" {
+				out = append(out, pkg.diag(gs.Pos(), goleakRule,
+					"goroutine has no ctx/done/close escape path: %s; thread a context or a closable done channel", reason))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// closedChannels collects the objects (variables and struct fields) that are
+// the argument of a close() call anywhere in the package.
+func closedChannels(pkg *Package) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "close" {
+				return true
+			}
+			if obj, ok := pkg.TypesInfo.Uses[id]; !ok || obj != types.Universe.Lookup("close") {
+				return true
+			}
+			if obj := chanObject(pkg, call.Args[0]); obj != nil {
+				out[obj] = true
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// chanObject resolves a channel expression to the variable or struct field
+// it denotes, so a close in one function matches a receive in another.
+func chanObject(pkg *Package, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pkg.TypesInfo.ObjectOf(e)
+	case *ast.SelectorExpr:
+		// Field selection: p.queue in any method resolves to the same field.
+		return pkg.TypesInfo.ObjectOf(e.Sel)
+	case *ast.ParenExpr:
+		return chanObject(pkg, e.X)
+	}
+	return nil
+}
+
+// packageFuncDecls indexes the package's function declarations by their
+// types object, so `go p.worker()` resolves to worker's body.
+func packageFuncDecls(pkg *Package) map[types.Object]*ast.FuncDecl {
+	out := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pkg.TypesInfo.ObjectOf(fd.Name); obj != nil {
+					out[obj] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// goroutineBody returns the body the go statement runs, if it is visible in
+// this package: an inline closure, or a package-level function/method.
+func goroutineBody(pkg *Package, gs *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fd := decls[pkg.TypesInfo.ObjectOf(fun)]; fd != nil {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := decls[pkg.TypesInfo.ObjectOf(fun.Sel)]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// leakReason reports why the body can never exit, or "" if an escape path
+// exists. Only unconditionally infinite constructs are flagged: a `for {}`
+// or `select {}` with no way out, or a range over a channel that is never
+// closed in the package.
+func leakReason(pkg *Package, body *ast.BlockStmt, closed map[types.Object]bool) string {
+	if referencesContext(pkg, body) {
+		return ""
+	}
+	reason := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			if len(n.Body.List) == 0 {
+				reason = "select{} blocks forever"
+				return false
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				return true // has a termination condition
+			}
+			if !loopEscapes(pkg, n.Body, closed) {
+				reason = "infinite for loop with no return, break, cancellable receive, or closable channel"
+				return false
+			}
+		case *ast.RangeStmt:
+			t := pkg.TypesInfo.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, isChan := t.Underlying().(*types.Chan); !isChan {
+				return true
+			}
+			if obj := chanObject(pkg, n.X); obj != nil && closed[obj] {
+				return true // terminates when the channel is closed
+			}
+			if loopEscapes(pkg, n.Body, closed) {
+				return true
+			}
+			reason = "ranges over a channel that is never closed in this package"
+			return false
+		}
+		return true
+	})
+	return reason
+}
+
+// loopEscapes reports whether a loop body contains a way out: a return, a
+// break (any label — over-approximate), a goto, or a receive from a channel
+// that is closed in the package (a done-channel wakeup).
+func loopEscapes(pkg *Package, body *ast.BlockStmt, closed map[types.Object]bool) bool {
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			escapes = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				escapes = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj := chanObject(pkg, n.X); obj != nil && closed[obj] {
+					escapes = true
+				}
+			}
+		case *ast.RangeStmt:
+			if obj := chanObject(pkg, n.X); obj != nil && closed[obj] {
+				escapes = true
+			}
+		case *ast.ExprStmt:
+			// panic() and runtime.Goexit() leave the goroutine too.
+			if isPanicCall(n) {
+				escapes = true
+			}
+		}
+		return true
+	})
+	return escapes
+}
+
+// referencesContext reports whether the body mentions any context.Context
+// value (including ctx.Done() selects): such a goroutine can observe
+// cancellation, which is the escape contract the serving layer uses.
+func referencesContext(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pkg.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if named, ok := obj.Type().(*types.Named); ok {
+			o := named.Obj()
+			if o != nil && o.Name() == "Context" && o.Pkg() != nil && o.Pkg().Path() == "context" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

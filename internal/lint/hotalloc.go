@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+const hotallocRule = "hotalloc"
+
+// hotpathDirective marks a function whose steady state must not allocate.
+// It is placed in the function's doc comment with a one-line reason:
+//
+//	//rblint:hotpath issue loop: TestSteadyStateIssueLoopZeroAllocs pins 0 allocs
+//
+// HotAlloc then reports every allocation site reachable in the function's
+// CFG, turning the repo's runtime zero-alloc guards (core's issue loop,
+// gates' packed evaluator) into review-time findings. Cold paths inside a
+// hot function (error formatting, one-time buffer growth) carry
+// //rblint:allow hotalloc directives at the site, so every accepted
+// allocation is explicit and greppable.
+const hotpathDirective = "//rblint:hotpath"
+
+// HotAlloc reports allocation sites in functions annotated //rblint:hotpath:
+// closures that capture variables, values boxed into interfaces at calls or
+// assignments, make/new, reference-type composite literals, and appends that
+// grow a function-local slice (appends into caller-provided or reused
+// buffers are the sanctioned pattern and pass).
+var HotAlloc = &Analyzer{
+	Name: hotallocRule,
+	Doc:  "forbid allocation sites (closures, interface boxing, make/new, unbounded append) in //rblint:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			out = append(out, hotAllocFunc(pkg, fd)...)
+		}
+	}
+	return out
+}
+
+// isHotpath reports whether the function's doc comment carries the
+// //rblint:hotpath directive.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, hotpathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// hotAllocFunc reports the allocation sites reachable in one hot function.
+// Unreachable blocks (code after an unconditional return/panic) are not the
+// steady state and are skipped — the CFG earns its keep here.
+func hotAllocFunc(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	cfg := BuildCFG(fd.Body)
+	name := fd.Name.Name
+	var out []Diagnostic
+	for _, bl := range cfg.Reachable() {
+		for _, n := range bl.Nodes {
+			shallowWalk(n, func(sub ast.Node) bool {
+				if d, ok := allocSite(pkg, fd, sub); ok {
+					d.Message = d.Message + " in hotpath function " + name
+					out = append(out, d)
+					_, isLit := sub.(*ast.FuncLit)
+					return !isLit
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// allocSite classifies one node as an allocation, if it is one.
+func allocSite(pkg *Package, fd *ast.FuncDecl, n ast.Node) (Diagnostic, bool) {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		if capt := capturedVar(pkg, fd, n); capt != "" {
+			return pkg.diag(n.Pos(), hotallocRule,
+				"closure capturing "+capt+" escapes to the heap"), true
+		}
+	case *ast.CallExpr:
+		if d, ok := builtinAlloc(pkg, n); ok {
+			return d, true
+		}
+		if d, ok := boxedArg(pkg, n); ok {
+			return d, true
+		}
+	case *ast.AssignStmt:
+		if d, ok := boxedAssign(pkg, n); ok {
+			return d, true
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, isLit := n.X.(*ast.CompositeLit); isLit {
+				return pkg.diag(n.Pos(), hotallocRule,
+					"&T{...} allocates on the heap"), true
+			}
+		}
+	case *ast.CompositeLit:
+		t := pkg.TypesInfo.TypeOf(n)
+		if t != nil {
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				return pkg.diag(n.Pos(), hotallocRule,
+					"slice/map literal allocates"), true
+			}
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// capturedVar names a function-local variable the closure captures (forcing
+// a heap allocation), or "" if the literal captures nothing.
+func capturedVar(pkg *Package, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	capt := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if capt != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pkg.TypesInfo.ObjectOf(id).(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Declared outside the literal but inside the enclosing function.
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		if obj.Pos() < fd.Pos() || obj.Pos() > fd.End() {
+			return true // package-level or foreign: no capture
+		}
+		capt = obj.Name()
+		return false
+	})
+	return capt
+}
+
+// builtinAlloc recognizes make, new, and local-slice-growing append calls.
+func builtinAlloc(pkg *Package, call *ast.CallExpr) (Diagnostic, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return Diagnostic{}, false
+	}
+	obj, ok := pkg.TypesInfo.Uses[id]
+	if !ok || obj != types.Universe.Lookup(id.Name) {
+		return Diagnostic{}, false
+	}
+	switch id.Name {
+	case "make", "new":
+		return pkg.diag(call.Pos(), hotallocRule, id.Name+" allocates"), true
+	case "append":
+		if len(call.Args) == 0 {
+			return Diagnostic{}, false
+		}
+		if appendsToLocal(pkg, call.Args[0]) {
+			return pkg.diag(call.Pos(), hotallocRule,
+				"append grows a function-local slice; preallocate or reuse a caller-provided buffer"), true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// appendsToLocal reports whether the append destination is a plain local
+// variable (growth allocates). Parameters, struct fields, and re-slicing
+// expressions (buf[:0]) are the reuse patterns and pass.
+func appendsToLocal(pkg *Package, dst ast.Expr) bool {
+	id, ok := dst.(*ast.Ident)
+	if !ok {
+		return false // field or slice expression: caller-owned buffer
+	}
+	obj, ok := pkg.TypesInfo.ObjectOf(id).(*types.Var)
+	if !ok || obj.IsField() {
+		return false
+	}
+	// Parameters and results are caller-provided.
+	if sig := enclosingSignature(pkg, id); sig != nil {
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == obj {
+				return false
+			}
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			if sig.Results().At(i) == obj {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// enclosingSignature finds the signature of the function whose scope
+// declares the identifier's object.
+func enclosingSignature(pkg *Package, id *ast.Ident) *types.Signature {
+	obj := pkg.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return nil
+	}
+	// Walk up from the object's scope to the function scope's signature is
+	// not directly exposed; instead check all Defs for a *types.Func whose
+	// scope contains the object position. Cheaper: check whether the object
+	// appears among any signature's params/results via its parent scope.
+	for _, info := range pkg.TypesInfo.Defs {
+		fn, ok := info.(*types.Func)
+		if !ok {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == obj {
+				return sig
+			}
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			if sig.Results().At(i) == obj {
+				return sig
+			}
+		}
+	}
+	return nil
+}
+
+// boxedArg reports a concrete value passed where an interface parameter is
+// declared (fmt.Errorf("%d", n) boxes n).
+func boxedArg(pkg *Package, call *ast.CallExpr) (Diagnostic, bool) {
+	sig, ok := pkg.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return Diagnostic{}, false // conversion, builtin, or untyped
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return Diagnostic{}, false
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos && i == params.Len()-1 {
+				pt = params.At(params.Len() - 1).Type() // slice passed whole
+			} else if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			} else {
+				continue // type error in the source; degrade gracefully
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(pkg, arg, pt) {
+			return pkg.diag(arg.Pos(), hotallocRule,
+				"argument boxes a concrete value into an interface parameter"), true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// boxedAssign reports a concrete value assigned to an interface-typed
+// destination.
+func boxedAssign(pkg *Package, as *ast.AssignStmt) (Diagnostic, bool) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return Diagnostic{}, false
+	}
+	for i := range as.Lhs {
+		lt := pkg.TypesInfo.TypeOf(as.Lhs[i])
+		if lt == nil {
+			continue
+		}
+		if boxes(pkg, as.Rhs[i], lt) {
+			return pkg.diag(as.Rhs[i].Pos(), hotallocRule,
+				"assignment boxes a concrete value into an interface"), true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// boxes reports whether storing expr into a destination of type dst boxes a
+// concrete value into an interface.
+func boxes(pkg *Package, expr ast.Expr, dst types.Type) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	at := pkg.TypesInfo.TypeOf(expr)
+	if at == nil || types.IsInterface(at) {
+		return false
+	}
+	if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}

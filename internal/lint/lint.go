@@ -32,11 +32,17 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
-// Analyzers returns the default rule set cmd/rblint runs.
+// Analyzers returns the default rule set cmd/rblint runs. The first three
+// are the v1 syntactic rules; the last four ride on the CFG/dataflow engine
+// in cfg.go and dataflow.go.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{RBConstruct, Determinism, OpCoverage}
+	return []*Analyzer{
+		RBConstruct, Determinism, OpCoverage,
+		Lockstate, Goleak, HotAlloc, BypassHole,
+	}
 }
 
 // Diagnostic is one finding: a rule violation anchored to a source position.
@@ -231,42 +237,73 @@ func (pkg *Package) allowed(d Diagnostic) bool {
 	return rm != nil && (rm[d.Rule] || rm["all"])
 }
 
+// RuleTiming records one analyzer's wall-clock cost over the whole program,
+// for the per-rule timing table in rblint -json. The JSON key is "analyzer"
+// (not "rule") so artifact post-processing that greps diagnostics by their
+// "rule" key never collides with timing entries.
+type RuleTiming struct {
+	Analyzer string  `json:"analyzer"`
+	Millis   float64 `json:"millis"`
+}
+
 // Apply runs the analyzers over the program, filters allowlisted findings,
 // and returns the remainder sorted by position then rule.
 func Apply(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	ds, _ := ApplyTimed(prog, analyzers)
+	return ds
+}
+
+// ApplyTimed is Apply plus a per-analyzer timing entry (in analyzer order,
+// one per analyzer whether or not it found anything).
+func ApplyTimed(prog *Program, analyzers []*Analyzer) ([]Diagnostic, []RuleTiming) {
 	var out []Diagnostic
-	keep := func(pkg *Package, ds []Diagnostic) {
-		for _, d := range ds {
-			if pkg == nil || !pkg.allowed(d) {
-				out = append(out, d)
-			}
-		}
-	}
+	timings := make([]RuleTiming, 0, len(analyzers))
 	for _, a := range analyzers {
-		if a.Run != nil {
-			for _, pkg := range prog.Pkgs {
-				keep(pkg, a.Run(pkg))
-			}
-		}
-		if a.RunProgram != nil {
-			ds := a.RunProgram(prog)
-			// Program-level findings are anchored to a position in some
-			// loaded package; resolve allowlists through whichever package
-			// owns the file.
-			for _, d := range ds {
-				suppressed := false
-				for _, pkg := range prog.Pkgs {
-					if pkg.allowed(d) {
-						suppressed = true
-						break
-					}
-				}
-				if !suppressed {
+		start := time.Now()
+		out = append(out, applyOne(prog, a)...)
+		timings = append(timings, RuleTiming{
+			Analyzer: a.Name,
+			Millis:   float64(time.Since(start).Microseconds()) / 1000,
+		})
+	}
+	sortDiags(out)
+	return out, timings
+}
+
+// applyOne runs one analyzer over the program and filters allowlisted
+// findings.
+func applyOne(prog *Program, a *Analyzer) []Diagnostic {
+	var out []Diagnostic
+	if a.Run != nil {
+		for _, pkg := range prog.Pkgs {
+			for _, d := range a.Run(pkg) {
+				if !pkg.allowed(d) {
 					out = append(out, d)
 				}
 			}
 		}
 	}
+	if a.RunProgram != nil {
+		// Program-level findings are anchored to a position in some loaded
+		// package; resolve allowlists through whichever package owns the file.
+		for _, d := range a.RunProgram(prog) {
+			suppressed := false
+			for _, pkg := range prog.Pkgs {
+				if pkg.allowed(d) {
+					suppressed = true
+					break
+				}
+			}
+			if !suppressed {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// sortDiags orders findings by position then rule for stable reports.
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.File != b.File {
@@ -280,5 +317,4 @@ func Apply(prog *Program, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
-	return out
 }

@@ -278,14 +278,21 @@ func (l *Loader) walk(base string) ([]string, error) {
 }
 
 // LoadAll loads every package named by the expanded patterns into a Program.
-func (l *Loader) LoadAll(paths []string) (*Program, error) {
+// A package that fails to load is reported in the returned error slice and
+// skipped; the rest of the program still loads and is analyzed, so one broken
+// directory cannot suppress findings collected everywhere else. The driver
+// must treat a non-empty error slice as a failed run even when the surviving
+// packages lint clean.
+func (l *Loader) LoadAll(paths []string) (*Program, []error) {
 	prog := &Program{Fset: l.Fset}
+	var errs []error
 	for _, p := range paths {
 		pkg, err := l.Load(p)
 		if err != nil {
-			return nil, fmt.Errorf("lint: loading %s: %w", p, err)
+			errs = append(errs, fmt.Errorf("lint: loading %s: %w", p, err))
+			continue
 		}
 		prog.add(pkg)
 	}
-	return prog, nil
+	return prog, errs
 }

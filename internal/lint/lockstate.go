@@ -1,0 +1,380 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+const lockstateRule = "lockstate"
+
+// Lockstate tracks sync.Mutex/RWMutex hold state through each function's
+// CFG and reports two classes of bug the -race runs in CI only catch when a
+// schedule happens to expose them:
+//
+//   - a lock held across a blocking operation (channel send/receive, a
+//     select without a default, pool.Submit, sync.WaitGroup.Wait, or a
+//     blocking net/http call): the lock's critical section then contains an
+//     unbounded wait, which is one coupled goroutine away from deadlock —
+//     the worker-pool Submit-vs-Close class of bug;
+//   - a lock still held on an early return while other paths (or a later
+//     statement) unlock it: the classic missing-unlock-on-error-path leak.
+//
+// A deferred Unlock discharges the second obligation on every path (defers
+// run on panic exits too — the CFG's defer/panic model); it deliberately
+// does not discharge the first, since a deferred unlock is exactly how a
+// lock comes to be held across a blocking call.
+var Lockstate = &Analyzer{
+	Name: lockstateRule,
+	Doc:  "forbid holding a mutex across blocking operations, and unlock-missing-on-early-return paths",
+	Run:  runLockstate,
+}
+
+// lockFact maps a lock key (the rendered receiver expression, e.g. "p.mu")
+// to its hold state along the current path.
+type lockFact map[string]lockSt
+
+type lockSt uint8
+
+const (
+	lockFree lockSt = 1 << iota
+	lockHeld
+)
+
+// lockLattice is the forward may/must lattice: per key, the set of states
+// observed on some path (held, free, or both).
+type lockLattice struct {
+	pkg *Package
+	// deferredFree keys are unlocked by a defer somewhere in the function.
+	deferredFree map[string]bool
+	// inSelect maps statements that are a select's comm clause, so their
+	// channel operations are attributed to the select, not double-counted.
+	inSelect map[ast.Node]bool
+	// selDefault records selects that have a default clause (non-blocking).
+	selDefault map[*ast.SelectStmt]bool
+	// blocked collects (pos, key, op) findings during transfer; the driver
+	// dedupes per position.
+	blocked map[token.Pos]blockedFinding
+}
+
+type blockedFinding struct {
+	key, op string
+}
+
+func (l *lockLattice) Bottom() lockFact { return nil }
+func (l *lockLattice) Entry() lockFact  { return lockFact{} }
+
+func (l *lockLattice) Join(a, b lockFact) lockFact {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(lockFact, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] |= v
+	}
+	return out
+}
+
+func (l *lockLattice) Equal(a, b lockFact) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *lockLattice) Transfer(n ast.Node, in lockFact) lockFact {
+	out := in
+	copied := false
+	shallowWalk(n, func(sub ast.Node) bool {
+		if _, ok := sub.(*ast.DeferStmt); ok {
+			// A deferred unlock runs at exit, not here; its effect is modeled
+			// by deferredFree, so treating it as immediate would hide every
+			// held-across-blocking bug in the lock/defer-unlock idiom.
+			return false
+		}
+		if key, op, ok := l.lockOp(sub); ok {
+			if !copied {
+				fresh := make(lockFact, len(in)+1)
+				for k, v := range in {
+					fresh[k] = v
+				}
+				out, copied = fresh, true
+			}
+			switch op {
+			case "Lock", "RLock":
+				out[key] = lockHeld
+			case "Unlock", "RUnlock":
+				out[key] = lockFree
+			}
+			return false
+		}
+		if op := l.blockingOp(sub); op != "" {
+			for key, st := range out {
+				if st == lockHeld {
+					l.blocked[sub.Pos()] = blockedFinding{key, op}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lockOp recognizes X.Lock() / X.Unlock() / X.RLock() / X.RUnlock() on a
+// sync.Mutex or sync.RWMutex (including embedded ones) and returns the lock
+// key and method name.
+func (l *lockLattice) lockOp(n ast.Node) (key, op string, ok bool) {
+	call, isCall := n.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := l.pkg.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.Mutex).Unlock",
+		"(*sync.Mutex).TryLock",
+		"(*sync.RWMutex).Lock", "(*sync.RWMutex).Unlock",
+		"(*sync.RWMutex).RLock", "(*sync.RWMutex).RUnlock":
+	default:
+		return "", "", false
+	}
+	name := fn.Name()
+	if name == "TryLock" {
+		// TryLock may fail; treating it as an acquisition would poison the
+		// whole function with a maybe-held state. Skip it.
+		return "", "", false
+	}
+	return types.ExprString(sel.X), name, true
+}
+
+// blockingOp classifies a node as a blocking operation and names it for the
+// diagnostic; "" if not blocking.
+func (l *lockLattice) blockingOp(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		if l.inSelect[n] {
+			return ""
+		}
+		return "a channel send"
+	case *ast.UnaryExpr:
+		if n.Op != token.ARROW || l.inSelect[n] {
+			return ""
+		}
+		return "a channel receive"
+	case *ast.SelectStmt:
+		if l.selDefault[n] {
+			return ""
+		}
+		return "a select with no default"
+	case *ast.CallExpr:
+		return l.blockingCall(n)
+	}
+	return ""
+}
+
+// blockingCall recognizes pool.Submit, WaitGroup.Wait, and blocking
+// net/http entry points.
+func (l *lockLattice) blockingCall(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if path, name := l.pkg.selectorPkg(call.Fun); path == "net/http" {
+		switch name {
+		case "Get", "Post", "PostForm", "Head":
+			return "a blocking http." + name + " call"
+		}
+		return ""
+	}
+	fn, ok := l.pkg.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	switch fn.FullName() {
+	case "(*sync.WaitGroup).Wait":
+		return "sync.WaitGroup.Wait"
+	case "(*net/http.Client).Do", "(*net/http.Client).Get",
+		"(*net/http.Client).Post", "(*net/http.Client).PostForm",
+		"(*net/http.Client).Head":
+		return "a blocking http.Client call"
+	case "(*" + poolPkgPath + ".Pool).Submit":
+		return "pool.Submit (blocks while the queue is full)"
+	}
+	return ""
+}
+
+// poolPkgPath is the worker pool whose Submit blocks on a full queue.
+const poolPkgPath = "repro/internal/pool"
+
+func runLockstate(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					out = append(out, lockstateFunc(pkg, n.Body)...)
+				}
+				return true // func literals inside are visited below
+			case *ast.FuncLit:
+				out = append(out, lockstateFunc(pkg, n.Body)...)
+				return true
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// lockstateFunc analyzes one function body.
+func lockstateFunc(pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	// Cheap pre-pass: skip bodies with no lock operations at all.
+	lat := &lockLattice{
+		pkg:          pkg,
+		deferredFree: map[string]bool{},
+		inSelect:     map[ast.Node]bool{},
+		selDefault:   map[*ast.SelectStmt]bool{},
+		blocked:      map[token.Pos]blockedFinding{},
+	}
+	usesLocks := false
+	unlockedSomewhere := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // analyzed as its own function
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					if cc.Comm == nil {
+						lat.selDefault[n] = true
+					} else {
+						lat.inSelect[cc.Comm] = true
+						// A receive appearing as the comm clause is part of
+						// the select, whatever its statement shape.
+						ast.Inspect(cc.Comm, func(m ast.Node) bool {
+							if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+								lat.inSelect[u] = true
+							}
+							_, isLit := m.(*ast.FuncLit)
+							return !isLit
+						})
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			// Any unlock reachable from the defer discharges at exit.
+			ast.Inspect(n.Call, func(m ast.Node) bool {
+				if key, op, ok := lat.lockOp(m); ok && (op == "Unlock" || op == "RUnlock") {
+					lat.deferredFree[key] = true
+					unlockedSomewhere[key] = true
+				}
+				return true
+			})
+		default:
+			if key, op, ok := lat.lockOp(n); ok {
+				usesLocks = true
+				if op == "Unlock" || op == "RUnlock" {
+					unlockedSomewhere[key] = true
+				}
+			}
+		}
+		return true
+	})
+	if !usesLocks {
+		return nil
+	}
+
+	cfg := BuildCFG(body)
+	in, err := Solve[lockFact](cfg, lat)
+	if err != nil {
+		// A solver failure means no facts; stay silent rather than guess.
+		return nil
+	}
+
+	var out []Diagnostic
+	// Held-across-blocking findings were collected during the (final,
+	// fixpoint) transfers re-run here over reachable blocks so the recorded
+	// facts are the converged ones.
+	lat.blocked = map[token.Pos]blockedFinding{}
+	for _, bl := range cfg.Reachable() {
+		f := in[bl.Index]
+		for _, n := range bl.Nodes {
+			f = lat.Transfer(n, f)
+		}
+	}
+	type posFinding struct {
+		pos token.Pos
+		f   blockedFinding
+	}
+	var bf []posFinding
+	for pos, f := range lat.blocked {
+		bf = append(bf, posFinding{pos, f})
+	}
+	sort.Slice(bf, func(i, j int) bool { return bf[i].pos < bf[j].pos })
+	for _, x := range bf {
+		out = append(out, pkg.diag(x.pos, lockstateRule,
+			"%s is held across %s; shrink the critical section or move the blocking operation out", x.f.key, x.f.op))
+	}
+
+	// Unlock-missing-on-return: a return reached with a key definitely held,
+	// where the function does unlock that key somewhere (so this is an
+	// overlooked path, not a lock-handoff helper) and no defer discharges it.
+	for _, bl := range cfg.Reachable() {
+		f := in[bl.Index]
+		for _, n := range bl.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				for key, st := range f {
+					if st == lockHeld && unlockedSomewhere[key] && !lat.deferredFree[key] {
+						out = append(out, pkg.diag(ret.Pos(), lockstateRule,
+							"%s is still held on this return path; unlock before returning or use defer", key))
+					}
+				}
+			}
+			f = lat.Transfer(n, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return dedupeDiags(out)
+}
+
+// dedupeDiags removes exact duplicates (a node reachable through two blocks).
+func dedupeDiags(ds []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	seen := map[string]bool{}
+	for _, d := range ds {
+		k := fmt.Sprintf("%s:%d:%d:%s", d.File, d.Line, d.Column, d.Message)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Map-order taint: the dataflow upgrade of the determinism rule. The
+// syntactic checkMapRange catches output produced *inside* a map-range body;
+// this pass catches the value that escapes the loop first — assigned from the
+// iteration variables, carried through further assignments, and only then
+// printed or JSON-encoded:
+//
+//	var last string
+//	for k := range m {
+//	        last = k
+//	}
+//	fmt.Println(last) // order-dependent: flagged here, not at the loop
+//
+// which is exactly the shape of the figure1 map-order bug (a per-machine map
+// iterated to build report rows, byte-diffed across runs). Facts flow through
+// the CFG with the generic solver: a map-range head taints its key/value
+// objects, an assignment whose right side mentions a tainted object taints
+// its left side, an assignment from clean values kills the taint (strong
+// update), and passing the object to sort.*/slices.Sort* launders it — the
+// collect-then-sort idiom stays clean end to end. Sinks inside any map-range
+// body are checkMapRange's domain and are skipped, so the two passes never
+// double-report one loop.
+
+// taintFact is the set of order-tainted objects on the current path.
+type taintFact map[types.Object]bool
+
+type taintLattice struct {
+	pkg *Package
+	// ranges maps each map-RangeStmt to its key/value objects.
+	ranges map[*ast.RangeStmt][]types.Object
+}
+
+func (l *taintLattice) Bottom() taintFact { return nil }
+func (l *taintLattice) Entry() taintFact  { return taintFact{} }
+
+func (l *taintLattice) Join(a, b taintFact) taintFact {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(taintFact, len(a)+len(b))
+	for o := range a {
+		out[o] = true
+	}
+	for o := range b {
+		out[o] = true
+	}
+	return out
+}
+
+func (l *taintLattice) Equal(a, b taintFact) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for o := range a {
+		if !b[o] {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *taintLattice) Transfer(n ast.Node, in taintFact) taintFact {
+	out := in
+	copied := false
+	set := func(o types.Object, tainted bool) {
+		if o == nil {
+			return
+		}
+		if !tainted && !out[o] {
+			return
+		}
+		if !copied {
+			fresh := make(taintFact, len(in)+1)
+			for k := range in {
+				fresh[k] = true
+			}
+			out, copied = fresh, true
+		}
+		if tainted {
+			out[o] = true
+		} else {
+			delete(out, o)
+		}
+	}
+	shallowWalk(n, func(sub ast.Node) bool {
+		switch sub := sub.(type) {
+		case *ast.RangeStmt:
+			for _, o := range l.ranges[sub] {
+				set(o, true)
+			}
+		case *ast.AssignStmt:
+			if len(sub.Lhs) != len(sub.Rhs) {
+				// Multi-value form (x, y := f()): taint every target if any
+				// right-side input is tainted.
+				t := false
+				for _, r := range sub.Rhs {
+					t = t || l.refsTainted(r, out)
+				}
+				for _, lhs := range sub.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						set(l.pkg.TypesInfo.ObjectOf(id), t)
+					}
+				}
+				return true
+			}
+			for i, lhs := range sub.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				set(l.pkg.TypesInfo.ObjectOf(id), l.refsTainted(sub.Rhs[i], out))
+			}
+		case *ast.CallExpr:
+			// sort launders: the object's order is deterministic afterwards.
+			if l.isSortCall(sub) {
+				for _, arg := range sub.Args {
+					if id, ok := arg.(*ast.Ident); ok {
+						set(l.pkg.TypesInfo.ObjectOf(id), false)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// refsTainted reports whether the expression mentions any tainted object.
+func (l *taintLattice) refsTainted(e ast.Expr, f taintFact) bool {
+	if len(f) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if o := l.pkg.TypesInfo.ObjectOf(id); o != nil && f[o] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (l *taintLattice) isSortCall(call *ast.CallExpr) bool {
+	path, name := l.pkg.selectorPkg(call.Fun)
+	return path == "sort" || (path == "slices" && strings.HasPrefix(name, "Sort"))
+}
+
+// taintMapOrder runs the pass over one function body and reports ordered
+// sinks reached by map-order-tainted values.
+func (pkg *Package) taintMapOrder(body *ast.BlockStmt) []Diagnostic {
+	lat := &taintLattice{pkg: pkg, ranges: map[*ast.RangeStmt][]types.Object{}}
+	// Seed discovery: map ranges and their iteration variables. Bodies with
+	// no map range have nothing to taint and skip the solve entirely.
+	var rangeSpans []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // analyzed as its own body
+		}
+		r, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pkg.TypesInfo.TypeOf(r.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		var objs []types.Object
+		for _, e := range []ast.Expr{r.Key, r.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				if o := pkg.TypesInfo.ObjectOf(id); o != nil {
+					objs = append(objs, o)
+				}
+			}
+		}
+		lat.ranges[r] = objs
+		rangeSpans = append(rangeSpans, r)
+		return true
+	})
+	if len(lat.ranges) == 0 {
+		return nil
+	}
+
+	cfg := BuildCFG(body)
+	in, err := Solve[taintFact](cfg, lat)
+	if err != nil {
+		return nil
+	}
+
+	inMapRange := func(n ast.Node) bool {
+		for _, r := range rangeSpans {
+			if n.Pos() >= r.Pos() && n.End() <= r.End() {
+				return true
+			}
+		}
+		return false
+	}
+	var out []Diagnostic
+	for _, bl := range cfg.Reachable() {
+		f := in[bl.Index]
+		for _, n := range bl.Nodes {
+			shallowWalk(n, func(sub ast.Node) bool {
+				call, ok := sub.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sink := pkg.outputCall(call)
+				if sink == "" || inMapRange(call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					if l := lat.taintedName(arg, f); l != "" {
+						out = append(out, pkg.diag(call.Pos(), determinismRule,
+							"%s carries map-iteration order and this call %s; iterate sorted keys or sort it first", l, sink))
+						break
+					}
+				}
+				return true
+			})
+			f = lat.Transfer(n, f)
+		}
+	}
+	return dedupeDiags(out)
+}
+
+// taintedName returns the name of a tainted object the expression mentions,
+// or "".
+func (l *taintLattice) taintedName(e ast.Expr, f taintFact) string {
+	if len(f) == 0 {
+		return ""
+	}
+	name := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if o := l.pkg.TypesInfo.ObjectOf(id); o != nil && f[o] {
+				name = id.Name
+			}
+		}
+		return true
+	})
+	return name
+}

@@ -1,0 +1,23 @@
+// Fixtures for the bypasshole rule; every schedule below violates a Fig.-14
+// constraint and must be flagged.
+package bypassholebad
+
+import "repro/internal/bypass"
+
+var (
+	// Bit 0 forwards a result in its own production cycle.
+	bitZero = bypass.Schedule{LevelMask: 0b0011, RFFrom: 4}
+	// Bit 4 names a bypass level the 3-level network does not have.
+	phantom = bypass.Schedule{LevelMask: 1 << 4, RFFrom: 4}
+	// Bypass levels with no register-file tail: permanently unobtainable
+	// once the last level drains (the stuck-waiter shape).
+	noTail = bypass.Schedule{LevelMask: 0b0010}
+	// The register file serves every offset from 4 on; RFFrom 5 fabricates
+	// an extra one-cycle hole the hardware cannot produce.
+	lateFile = bypass.Schedule{LevelMask: 1 << 1, RFFrom: 5}
+)
+
+// Constant literals inside functions are checked too.
+func worst() bypass.Schedule {
+	return bypass.Schedule{LevelMask: 0b10001, RFFrom: 6}
+}

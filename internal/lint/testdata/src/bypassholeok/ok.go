@@ -1,0 +1,27 @@
+// Fixtures for the bypasshole rule; nothing here may be flagged.
+package bypassholeok
+
+import "repro/internal/bypass"
+
+var (
+	// The zero schedule is "never available" and is legal (bypass.Never).
+	zero = bypass.Schedule{}
+	// Seamless: all three levels then the register file.
+	full = bypass.Schedule{LevelMask: 0b1110, RFFrom: 4}
+	// The paper's limited network: BYP-1, a 2-cycle hole, then the file.
+	limited = bypass.Schedule{LevelMask: 1 << 1, RFFrom: 4}
+	// Register file only (no bypass network at all).
+	fileOnly = bypass.Schedule{RFFrom: 4}
+)
+
+// Runtime-built schedules are outside the rule's reach; the Figure-14
+// dynamic tests own them.
+func dyn(extra int) bypass.Schedule {
+	return bypass.Schedule{LevelMask: 1 << uint(1+extra), RFFrom: extra + 2}
+}
+
+// A deliberately impossible pattern used to probe the scheduler's
+// stuck-waiter reporting, suppressed with a reason.
+//
+//rblint:allow bypasshole
+var probe = bypass.Schedule{LevelMask: 0b0010, RFFrom: 5}

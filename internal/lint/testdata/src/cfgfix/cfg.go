@@ -1,0 +1,72 @@
+// Fixtures for the CFG builder golden tests: each function exercises one
+// construction case (defer discharge, panic edges, labeled break, select
+// lowering, goto loops, fallthrough). The golden file pins the exact block
+// structure, so a builder change that reshapes any graph is visible in
+// review.
+package cfgfix
+
+import "sync"
+
+func deferUnlock(mu *sync.Mutex, bad bool) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if bad {
+		return -1
+	}
+	return 0
+}
+
+func panics(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x
+}
+
+func labeledBreak(grid [][]int, want int) (int, int) {
+outer:
+	for i := range grid {
+		for j := range grid[i] {
+			if grid[i][j] == want {
+				return i, j
+			}
+			if grid[i][j] < 0 {
+				break outer
+			}
+		}
+	}
+	return -1, -1
+}
+
+func selectLoop(in chan int, done chan struct{}) int {
+	total := 0
+	for {
+		select {
+		case v := <-in:
+			total += v
+		case <-done:
+			return total
+		}
+	}
+}
+
+func gotoRetry(tries int) int {
+	n := 0
+retry:
+	n++
+	if n < tries {
+		goto retry
+	}
+	return n
+}
+
+func switchFall(x int) string {
+	switch x {
+	case 0:
+		fallthrough
+	case 1:
+		return "small"
+	default:
+		return "big"
+	}
+}

@@ -1,0 +1,61 @@
+// This fixture declares package core so the determinism rule's
+// simulator-package scope applies. It exercises the dataflow upgrade:
+// map-iteration order escaping the loop through assignments before reaching
+// ordered output. Marked lines must be flagged; everything else must pass.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The figure1 regression shape: a per-series map iterated to pick a value
+// that is printed after the loop, so the report depends on iteration order.
+func lastSeries(series map[string][]float64) {
+	last := ""
+	for name := range series {
+		last = name
+	}
+	fmt.Println(last) // flagged: last carries map order
+}
+
+// Taint propagates through a further assignment.
+func indirect(m map[string]int) {
+	first := ""
+	for k := range m {
+		first = k
+		break
+	}
+	title := "series " + first
+	fmt.Println(title) // flagged: title derived from first
+}
+
+// Collect-then-sort launders the taint end to end.
+func sorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println(keys) // clean: sorted before emission
+}
+
+// Reassignment from a clean value kills the taint.
+func killed(m map[string]int) {
+	last := ""
+	for k := range m {
+		last = k
+	}
+	last = "fixed"
+	fmt.Println(last) // clean: overwritten after the loop
+}
+
+// A deliberate order-dependent probe, suppressed with a reason: the value is
+// only used to smoke-test the output path, never diffed.
+func probe(m map[string]int) {
+	pick := ""
+	for k := range m {
+		pick = k
+	}
+	fmt.Println(pick) //rblint:allow determinism
+}

@@ -1,0 +1,41 @@
+// Fixtures for the goleak rule; every marked go statement must be flagged.
+package goleakbad
+
+// An infinite loop with no way out leaks the goroutine on shutdown.
+func spinForever() {
+	go func() { // flagged: infinite for, no escape
+		for {
+		}
+	}()
+}
+
+type relay struct {
+	in chan int
+}
+
+// The channel is never closed anywhere in this package, so the range never
+// terminates.
+func (r *relay) drain() {
+	go func() { // flagged: never-closed channel
+		for range r.in {
+		}
+	}()
+}
+
+// select{} blocks forever.
+func blockForever() {
+	go func() { // flagged: select{}
+		select {}
+	}()
+}
+
+// A method value resolves through the package's own declaration.
+func (r *relay) start() {
+	go r.pump() // flagged: pump has no escape path
+}
+
+func (r *relay) pump() {
+	for v := range r.in {
+		_ = v
+	}
+}

@@ -1,0 +1,70 @@
+// Fixtures for the goleak rule; nothing here may be flagged.
+package goleakok
+
+import "context"
+
+type pool struct {
+	queue chan func()
+}
+
+// The worker exits when Close closes the queue: the pool's shutdown
+// protocol.
+func (p *pool) start() {
+	go p.worker()
+}
+
+func (p *pool) worker() {
+	for fn := range p.queue {
+		fn()
+	}
+}
+
+func (p *pool) Close() {
+	close(p.queue)
+}
+
+// A context reference is an escape path: the goroutine can observe
+// cancellation.
+func watch(ctx context.Context, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+// A receive from a closed-in-package done channel is an escape path.
+type stopper struct {
+	done chan struct{}
+}
+
+func (s *stopper) run(work chan int) {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+func (s *stopper) Stop() {
+	close(s.done)
+}
+
+// A deliberate process-lifetime daemon, suppressed with a reason: it flushes
+// metrics until the process dies and owns no locks or sockets.
+func daemon() {
+	//rblint:allow goleak
+	go func() {
+		for {
+		}
+	}()
+}

@@ -1,0 +1,44 @@
+// Fixtures for the hotalloc rule; every marked line in the annotated
+// functions must be flagged.
+package hotallocbad
+
+func emit(v any) {}
+
+type point struct{ x, y int }
+
+//rblint:hotpath fixture: the steady state of this loop must not allocate
+func process(vals []int) int {
+	total := 0
+	var out []int
+	for _, v := range vals {
+		out = append(out, v) // flagged: grows a function-local slice
+	}
+	cb := func() { total++ } // flagged: closure captures total
+	cb()
+	buf := make([]byte, 64) // flagged: make
+	_ = buf
+	emit(total) // flagged: boxes an int into any
+	_ = out
+	return total
+}
+
+//rblint:hotpath fixture: literals and boxing assignments
+func build(v int) any {
+	p := &point{v, v} // flagged: &T{} escapes
+	_ = p
+	m := map[int]int{v: v} // flagged: map literal
+	_ = m
+	var sink any
+	sink = v // flagged: assignment boxes v
+	return sink
+}
+
+// Unreachable code is not the steady state: the allocation after the return
+// must not be flagged (the CFG prunes it).
+//
+//rblint:hotpath fixture: dead code is skipped
+func deadTail(v int) int {
+	return v
+	_ = make([]int, 1) // not flagged: unreachable
+	return 0
+}

@@ -1,0 +1,40 @@
+// Fixtures for the hotalloc rule; nothing here may be flagged.
+package hotallocok
+
+//rblint:hotpath fixture: appends into a caller-provided buffer must pass
+func fill(dst []int, vals []int) []int {
+	for _, v := range vals {
+		dst = append(dst, v) // parameter: caller-owned buffer
+	}
+	return dst
+}
+
+type ring struct {
+	buf []int
+}
+
+//rblint:hotpath fixture: field-backed reusable buffers must pass
+func (r *ring) collect(vals []int) {
+	r.buf = r.buf[:0]
+	for _, v := range vals {
+		r.buf = append(r.buf, v) // field: reused buffer
+	}
+}
+
+// Not annotated: free to allocate however it likes.
+func cold(vals []int) []int {
+	out := make([]int, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	return out
+}
+
+//rblint:hotpath fixture: an accepted cold-path allocation is suppressed
+func (r *ring) grow(n int) {
+	if cap(r.buf) < n {
+		// One-time growth; amortized free across the run.
+		//rblint:allow hotalloc
+		r.buf = make([]int, 0, n)
+	}
+}

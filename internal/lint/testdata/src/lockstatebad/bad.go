@@ -1,0 +1,55 @@
+// Fixtures for the lockstate rule; every marked line must be flagged.
+package lockstatebad
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+	ch chan int
+}
+
+// Held across a channel send: the critical section contains an unbounded
+// wait.
+func (c *counter) sendHeld() {
+	c.mu.Lock()
+	c.ch <- c.n // flagged: held across send
+	c.mu.Unlock()
+}
+
+// Held across a select with no default; the deferred unlock does not excuse
+// the blocking wait inside the critical section.
+func (c *counter) selectHeld(done chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select { // flagged: held across select
+	case c.ch <- c.n:
+	case <-done:
+	}
+}
+
+// Held across WaitGroup.Wait.
+func (c *counter) waitHeld(wg *sync.WaitGroup) {
+	c.mu.Lock()
+	wg.Wait() // flagged: held across Wait
+	c.mu.Unlock()
+}
+
+// The early return leaves the lock held while the happy path unlocks it:
+// the classic missing-unlock-on-error-path leak.
+func (c *counter) leakyReturn(bad bool) int {
+	c.mu.Lock()
+	if bad {
+		return -1 // flagged: still held here
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// RWMutex read locks are tracked the same way.
+func (c *counter) rlockHeld(mu *sync.RWMutex) {
+	mu.RLock()
+	c.ch <- c.n // flagged: read lock held across send
+	mu.RUnlock()
+}

@@ -1,0 +1,58 @@
+// Fixtures for the lockstate rule; nothing here may be flagged.
+package lockstateok
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+	ch chan int
+}
+
+// Shrunk critical section: the send happens after the unlock.
+func (c *counter) sendAfter() {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	c.ch <- n
+}
+
+// A select with a default never blocks, so holding across it is fine.
+func (c *counter) trySend() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case c.ch <- c.n:
+	default:
+	}
+}
+
+// Every return path unlocks.
+func (c *counter) bothPaths(bad bool) int {
+	c.mu.Lock()
+	if bad {
+		c.mu.Unlock()
+		return -1
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// A deferred unlock discharges every return path, including the panic exit.
+func (c *counter) deferred(bad bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bad {
+		return -1
+	}
+	return c.n
+}
+
+// A deliberate held send, suppressed with a reason: the consumer drains the
+// channel unconditionally, so the send cannot block indefinitely.
+func (c *counter) deliberate() {
+	c.mu.Lock()
+	c.ch <- c.n //rblint:allow lockstate
+	c.mu.Unlock()
+}

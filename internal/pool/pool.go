@@ -95,6 +95,11 @@ func (p *Pool) Submit(ctx context.Context, fn func()) error {
 	// Count the task before the send: a worker can pop and finish it the
 	// instant it lands, and the decrement must not precede the increment.
 	p.depth.Add(1)
+	// Holding mu as a read lock across this blocking send is the point of the
+	// design: Close takes the write lock before closing queue, so no Submit
+	// can be mid-send on a closed channel. Deadlock-free because workers never
+	// touch mu and ctx.Done() always offers a way out.
+	//rblint:allow lockstate
 	select {
 	case p.queue <- fn:
 		p.submitted.Add(1)

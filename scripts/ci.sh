@@ -9,6 +9,14 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go run ./cmd/rblint ./...
+# Machine-readable lint artifact + rule-coverage gate: the -json report is
+# kept as a CI artifact, and the set of analyzers that actually ran is
+# diffed against the checked-in baseline so a rule silently dropping out of
+# Analyzers() (or a rename) fails the build instead of passing vacuously.
+LINT_ART="${LINT_ART:-rblint_report.json}"
+go run ./cmd/rblint -json ./... >"$LINT_ART"
+sed -n 's/.*"analyzer": "\([a-z]*\)".*/\1/p' "$LINT_ART" | sort >"$LINT_ART.rules"
+diff scripts/rblint_rules.baseline "$LINT_ART.rules"
 go build ./...
 # Race instrumentation slows the experiment-matrix tests well past the
 # default 10m package timeout; they pass with room to spare given 40m.
