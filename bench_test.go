@@ -9,11 +9,13 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/branch"
 	"repro/internal/core"
@@ -45,9 +47,15 @@ func traceOf(b *testing.B, w *workload.Workload) []emu.TraceEntry {
 	return t
 }
 
+// benchBuffers is shared by every cell the benchmarks run: the simulator's
+// large backing arrays (window, scheduler, cache tag copies) regrow once and
+// are reused, so the reported allocations are the per-run cost a caller with
+// a warm harness actually pays, not 20 workloads' worth of fresh arrays.
+var benchBuffers = core.NewBuffers()
+
 func runCell(b *testing.B, cfg machine.Config, w *workload.Workload) *core.Result {
 	b.Helper()
-	r, err := core.Run(cfg, w.Name, traceOf(b, w))
+	r, err := benchBuffers.Run(cfg, w.Name, traceOf(b, w))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -488,6 +496,57 @@ func BenchmarkSweepChainLength(b *testing.B) {
 			b.ReportMetric(ratio, "ideal-vs-baseline-x")
 		})
 	}
+}
+
+// BenchmarkSampledSimulation measures checkpointed SMARTS sampling against
+// the full-run oracle on a multi-million-instruction generated workload. Each
+// iteration runs on a cold harness (no memoized checkpoint library or sample
+// cells), so ns/op is the true cost of a first sampled run; speedup-x is the
+// full detailed run's wall clock over that, and ipc-err-% is the sampled
+// estimate's relative error against the oracle.
+func BenchmarkSampledSimulation(b *testing.B) {
+	w, err := workload.Generate(workload.GenParams{
+		Name: "bench-sampled-3m", Iterations: 120000, BranchTakenPercent: 85, MulOps: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := w.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The oracle pays what a cold RunCell pays — materializing the committed
+	// trace and simulating all of it — but traces directly rather than
+	// through the workload cache: millions of entries should not outlive
+	// this benchmark.
+	cfg := machine.NewRBFull(8)
+	t0 := time.Now()
+	tr, err := emu.Trace(prog, w.MaxInsts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := core.Run(cfg, w.Name, tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fullDur := time.Since(t0)
+	tr = nil
+	spec := experiments.SampleSpec{Samples: 50, Warmup: 500, Measure: 500}
+	var sampled *experiments.SampledResult
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		h := experiments.NewHarness(0)
+		sampled, err = h.RunSampled(context.Background(), cfg, w, spec)
+		h.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sampledDur := time.Since(start) / time.Duration(b.N)
+	b.ReportMetric(float64(fullDur)/float64(sampledDur), "speedup-x")
+	b.ReportMetric(100*math.Abs(sampled.MeanIPC-full.IPC())/full.IPC(), "ipc-err-%")
+	b.ReportMetric(float64(sampled.TotalInstructions), "insts")
 }
 
 // --- Serving-layer benchmark -------------------------------------------------

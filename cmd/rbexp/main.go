@@ -6,6 +6,8 @@
 //	rbexp -exp fig9           # one artifact: table1|table2|table3|
 //	                          # fig9|fig10|fig11|fig12|fig13|fig14|summary
 //	rbexp -exp all -parallel 1   # serial determinism oracle
+//	rbexp -exp sampled -samples 10 -warmup 2000 -measure 2000
+//	                          # SMARTS-sampled IPC vs the full-run oracle
 //
 // Output is plain text: each figure prints its data table (and an ASCII bar
 // rendering for the IPC figures). The (machine, workload) cells of each
@@ -25,7 +27,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/machine"
 	"repro/internal/prof"
+	"repro/internal/workload"
 )
 
 type artifact struct {
@@ -97,16 +101,40 @@ var artifacts = []artifact{
 		}
 		return s.Render(w)
 	}},
+	{"sampled", func(ctx context.Context, r experiments.Runner, w io.Writer) error {
+		h, ok := r.(*experiments.Harness)
+		if !ok {
+			return fmt.Errorf("sampled requires the standard harness")
+		}
+		cfg, err := machine.ByName("rb-full", 8)
+		if err != nil {
+			return err
+		}
+		f, err := experiments.SampledVsFull(ctx, h, cfg, workload.SPECint2000(), sampledSpec)
+		if err != nil {
+			return err
+		}
+		return f.Render(w)
+	}},
 }
 
+// sampledSpec carries the -samples/-warmup/-measure/-ff-warm flags into the
+// sampled artifact.
+var sampledSpec experiments.SampleSpec
+
 func main() {
-	exp := flag.String("exp", "all", "artifact to regenerate (all, or one of: fig1 table1 table2 table3 fig9 fig10 fig11 fig12 fig13 fig14 sweeps summary)")
+	exp := flag.String("exp", "all", "artifact to regenerate (all, or one of: fig1 table1 table2 table3 fig9 fig10 fig11 fig12 fig13 fig14 sweeps summary sampled)")
 	parallel := flag.Int("parallel", 0, "simulate up to N (machine, workload) cells concurrently (0 = GOMAXPROCS, 1 = serial)")
+	flag.IntVar(&sampledSpec.Samples, "samples", 10, "sampled artifact: number of sample cells k")
+	flag.IntVar(&sampledSpec.Warmup, "warmup", 2000, "sampled artifact: detailed warm-up instructions per cell")
+	flag.IntVar(&sampledSpec.Measure, "measure", 2000, "sampled artifact: measured instructions per cell")
+	ffWarm := flag.Int64("ff-warm", 0, "sampled artifact: functional-warming horizon (0 = continuous, the accurate default)")
 	schedName := flag.String("sched", "event", "scheduler backend: event (calendar-queue wakeup) or poll (per-cycle rescan oracle)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+	sampledSpec.FFWarm = *ffWarm
 
 	backend, err := core.ParseBackend(*schedName)
 	if err != nil {
@@ -139,6 +167,9 @@ func main() {
 
 	if *exp == "all" {
 		for _, a := range artifacts {
+			if a.name == "sampled" {
+				continue // estimator diagnostic, not a paper artifact
+			}
 			run(a)
 		}
 		return

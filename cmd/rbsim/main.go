@@ -21,11 +21,14 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/branch"
 	"repro/internal/bypass"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/mem"
 	"repro/internal/pipeview"
 	"repro/internal/prof"
 	"repro/internal/tracefile"
@@ -41,6 +44,9 @@ func main() {
 	pipeline := flag.Int("pipeline", 0, "print a cycle-by-cycle pipeline diagram of the first N instructions")
 	saveTrace := flag.String("save-trace", "", "write the workload's committed trace to this file and exit")
 	fromTrace := flag.String("from-trace", "", "simulate a trace previously written with -save-trace instead of tracing the workload")
+	saveCkpt := flag.String("save-ckpt", "", "fast-forward the workload and write an architectural checkpoint to this file")
+	ckptAt := flag.Int64("ckpt-at", 0, "instruction count at which -save-ckpt captures (functional warming runs throughout)")
+	loadCkpt := flag.String("load-ckpt", "", "resume from a checkpoint written with -save-ckpt and simulate the remainder in detail")
 	noLevels := flag.String("no-bypass-levels", "", "comma-separated bypass levels to remove (baseline/ideal machines)")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	schedName := flag.String("sched", "event", "scheduler backend: event (calendar-queue wakeup) or poll (per-cycle rescan oracle)")
@@ -94,6 +100,27 @@ func main() {
 	}
 	cfg.DatapathCheck = *check
 	cfg.ModelWrongPath = *wrongPath
+
+	if *saveCkpt != "" {
+		if err := doSaveCkpt(cfg, w, *saveCkpt, *ckptAt); err != nil {
+			fmt.Fprintf(os.Stderr, "rbsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *loadCkpt != "" {
+		wlFlagSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "workload" {
+				wlFlagSet = true
+			}
+		})
+		if err := doLoadCkpt(cfg, *loadCkpt, *wlName, wlFlagSet); err != nil {
+			fmt.Fprintf(os.Stderr, "rbsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var trace []emu.TraceEntry
 	if *fromTrace != "" {
@@ -195,6 +222,109 @@ func main() {
 	if *check {
 		fmt.Printf("datapath:      %d results verified through the redundant binary datapath\n", r.DatapathChecked)
 	}
+}
+
+// doSaveCkpt fast-forwards the workload functionally (warming caches and the
+// branch predictor throughout) and writes an architectural checkpoint at
+// instruction n.
+func doSaveCkpt(cfg machine.Config, w *workload.Workload, path string, n int64) error {
+	if n <= 0 {
+		return fmt.Errorf("-save-ckpt requires -ckpt-at N with N > 0 (got %d)", n)
+	}
+	prog, err := w.Program()
+	if err != nil {
+		return err
+	}
+	hier, err := mem.NewHierarchy(cfg.Mem)
+	if err != nil {
+		return err
+	}
+	pred := branch.New()
+	warmer := ckpt.NewWarmer(hier, pred)
+	e := emu.New(prog)
+	var te emu.TraceEntry
+	for e.InstCount() < n {
+		if err := e.StepInto(&te); err != nil {
+			if e.Halted() {
+				return fmt.Errorf("workload %s halts after %d instructions, before -ckpt-at %d",
+					w.Name, e.InstCount(), n)
+			}
+			return err
+		}
+		warmer.Observe(&te)
+	}
+	st := ckpt.Capture(w.Name, e, hier, pred)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := st.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote checkpoint of %s at instruction %d to %s (fingerprint %s)\n",
+		w.Name, st.Seq(), path, st.Fingerprint())
+	return nil
+}
+
+// doLoadCkpt resumes a checkpoint, replays the remainder of the workload
+// through the detailed simulator with the checkpointed warm state, and prints
+// the measured statistics.
+func doLoadCkpt(cfg machine.Config, path, wlName string, wlFlagSet bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	st, err := ckpt.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if wlFlagSet && wlName != st.Workload {
+		return fmt.Errorf("checkpoint %s was captured from workload %q, not %q", path, st.Workload, wlName)
+	}
+	w, ok := workload.ByName(st.Workload)
+	if !ok {
+		return fmt.Errorf("checkpoint %s references unknown workload %q", path, st.Workload)
+	}
+	prog, err := w.Program()
+	if err != nil {
+		return err
+	}
+	e := emu.Resume(prog, st.Arch)
+	remaining := w.MaxInsts - st.Seq()
+	if remaining <= 0 {
+		return fmt.Errorf("checkpoint is at instruction %d, at or past the workload bound %d", st.Seq(), w.MaxInsts)
+	}
+	trace := make([]emu.TraceEntry, 0, remaining)
+	var te emu.TraceEntry
+	for int64(len(trace)) < remaining {
+		if err := e.StepInto(&te); err != nil {
+			if e.Halted() {
+				break
+			}
+			return err
+		}
+		trace = append(trace, te)
+	}
+	if len(trace) == 0 {
+		return fmt.Errorf("checkpoint is at instruction %d, past the end of the program", st.Seq())
+	}
+	r, err := core.RunWindow(cfg, w.Name, trace, core.WindowOptions{Hier: &st.Hier, Pred: st.Pred})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload:      %s (resumed at instruction %d)\n", w.Name, st.Seq())
+	fmt.Printf("machine:       %s\n", cfg.Name)
+	fmt.Printf("instructions:  %d\n", r.Result.Instructions)
+	fmt.Printf("cycles:        %d\n", r.Result.Cycles)
+	fmt.Printf("IPC:           %.4f\n", r.Result.IPC())
+	fmt.Printf("branches:      %d (%.2f%% mispredicted)\n", r.Result.Branches, 100*r.Result.MispredictRate())
+	fmt.Printf("L1D:           %.2f%% miss (%d accesses)\n", 100*r.Result.L1D.MissRate(), r.Result.L1D.Accesses())
+	return nil
 }
 
 func pct(a, b int64) float64 {

@@ -1,0 +1,101 @@
+package branch
+
+// PredictorState is the serializable warm state of the prediction unit. The
+// BTB's per-set way arrays are flattened (set*btbWays + way) so the encoder
+// sees plain slices; Valid is packed as one byte per entry.
+type PredictorState struct {
+	Gshare  []uint8
+	Chooser []uint8
+	LocalH  []uint16
+	Pattern []uint8
+	History uint64
+
+	BTBTag   []uint32
+	BTBTgt   []int32
+	BTBLRU   []uint8
+	BTBValid []uint8
+
+	RAS    [rasDepth]int64
+	RASTop int
+	RASLen int
+}
+
+// State copies out the predictor's warm state.
+func (p *Predictor) State() *PredictorState {
+	st := &PredictorState{
+		Gshare:   append([]uint8(nil), p.gshare...),
+		Chooser:  append([]uint8(nil), p.chooser...),
+		LocalH:   append([]uint16(nil), p.localH...),
+		Pattern:  append([]uint8(nil), p.pattern...),
+		History:  p.history,
+		BTBTag:   make([]uint32, btbSets*btbWays),
+		BTBTgt:   make([]int32, btbSets*btbWays),
+		BTBLRU:   make([]uint8, btbSets*btbWays),
+		BTBValid: make([]uint8, btbSets*btbWays),
+		RASTop:   p.rasTop,
+		RASLen:   p.rasLen,
+	}
+	for s := 0; s < btbSets; s++ {
+		for w := 0; w < btbWays; w++ {
+			i := s*btbWays + w
+			st.BTBTag[i] = p.btbTag[s][w]
+			st.BTBTgt[i] = p.btbTgt[s][w]
+			st.BTBLRU[i] = p.btbLRU[s][w]
+			if p.btbValid[s][w] {
+				st.BTBValid[i] = 1
+			}
+		}
+	}
+	for i, v := range p.ras {
+		st.RAS[i] = int64(v)
+	}
+	return st
+}
+
+// SetState installs warm state captured from another predictor. States with
+// mismatched table sizes (a different build of the predictor) are ignored,
+// leaving the predictor as it was.
+func (p *Predictor) SetState(st *PredictorState) {
+	if len(st.Gshare) != gshareSize || len(st.Chooser) != chooserSize ||
+		len(st.LocalH) != localTableSize || len(st.Pattern) != patternSize ||
+		len(st.BTBTag) != btbSets*btbWays || len(st.BTBTgt) != btbSets*btbWays ||
+		len(st.BTBLRU) != btbSets*btbWays || len(st.BTBValid) != btbSets*btbWays {
+		return
+	}
+	copy(p.gshare, st.Gshare)
+	copy(p.chooser, st.Chooser)
+	copy(p.localH, st.LocalH)
+	copy(p.pattern, st.Pattern)
+	p.history = st.History
+	for s := 0; s < btbSets; s++ {
+		for w := 0; w < btbWays; w++ {
+			i := s*btbWays + w
+			p.btbTag[s][w] = st.BTBTag[i]
+			p.btbTgt[s][w] = st.BTBTgt[i]
+			p.btbLRU[s][w] = st.BTBLRU[i]
+			p.btbValid[s][w] = st.BTBValid[i] != 0
+		}
+	}
+	for i, v := range st.RAS {
+		p.ras[i] = int(v)
+	}
+	p.rasTop = st.RASTop
+	p.rasLen = st.RASLen
+}
+
+// Reset returns the predictor to its freshly constructed state so a caller
+// can reuse the ~150KB of tables across runs instead of allocating anew.
+func (p *Predictor) Reset() {
+	copy(p.gshare, gshareProto)
+	copy(p.chooser, chooserProto)
+	clear(p.localH)
+	copy(p.pattern, patternProto)
+	p.history = 0
+	clear(p.btbTag)
+	clear(p.btbTgt)
+	clear(p.btbLRU)
+	clear(p.btbValid)
+	p.ras = [rasDepth]int{}
+	p.rasTop = 0
+	p.rasLen = 0
+}

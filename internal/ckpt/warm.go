@@ -1,0 +1,83 @@
+package ckpt
+
+import (
+	"repro/internal/branch"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Warmer evolves microarchitectural warm state (cache tags, predictor
+// tables) from a committed instruction stream without charging any timing.
+// It mirrors the stateful touch sequence of the detailed front end
+// (core.predictBranch and the per-line I-fetch of core.fetch) so a
+// checkpointed warm state looks like the one a detailed run would have
+// reached — approximately: the detailed core also touches state on
+// wrong-path fetches, which a functional stream cannot see. Warm-up windows
+// absorb that residual error.
+type Warmer struct {
+	Hier *mem.Hierarchy
+	Pred *branch.Predictor
+
+	lastFetchLine int64
+}
+
+// NewWarmer builds a warmer over the given (possibly nil) structures.
+func NewWarmer(h *mem.Hierarchy, p *branch.Predictor) *Warmer {
+	return &Warmer{Hier: h, Pred: p, lastFetchLine: -1}
+}
+
+// Observe feeds one committed instruction through the warm-state models.
+//
+//rblint:hotpath functional warming runs once per fast-forwarded instruction
+func (w *Warmer) Observe(te *emu.TraceEntry) {
+	if w.Hier != nil {
+		// One I-cache touch per 64-byte line, as the detailed fetch does.
+		line := int64(te.PC) * 8 >> 6
+		if line != w.lastFetchLine {
+			w.Hier.WarmFetch(uint64(te.PC) * 8)
+			w.lastFetchLine = line
+		}
+	}
+	cls := isa.ClassOf(te.Inst.Op)
+	switch {
+	case cls.IsLoad:
+		if w.Hier != nil {
+			w.Hier.WarmLoad(te.EA)
+		}
+	case cls.IsStore:
+		if w.Hier != nil {
+			w.Hier.WarmStore(te.EA)
+		}
+	case cls.IsCondBranch:
+		if w.Pred != nil {
+			// Same stateful order as the detailed front end: train the
+			// direction predictor, look up the BTB (its LRU state moves on
+			// lookups), then install the target of a taken branch.
+			w.Pred.UpdateDirection(te.PC, te.Taken)
+			w.Pred.PredictTarget(te.PC)
+			if te.Taken {
+				w.Pred.UpdateTarget(te.PC, te.NextPC)
+			}
+		}
+	case te.Inst.Op == isa.BSR:
+		if w.Pred != nil {
+			w.Pred.PushReturn(te.PC + 1)
+		}
+	case te.Inst.Op == isa.RET:
+		if w.Pred != nil {
+			w.Pred.PopReturn()
+		}
+	case cls.IsIndirect:
+		if w.Pred != nil {
+			if te.Inst.Op == isa.JSR {
+				w.Pred.PushReturn(te.PC + 1)
+			}
+			w.Pred.PredictTarget(te.PC)
+			w.Pred.UpdateTarget(te.PC, te.NextPC)
+		}
+	}
+	if te.Taken {
+		w.lastFetchLine = -1 // next instruction starts a new fetch path
+	}
+}

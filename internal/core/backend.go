@@ -406,5 +406,11 @@ func (s *Simulator) retire(cycle int64) {
 		}
 		s.retirePtr++
 		s.inFlight--
+		if s.retirePtr == s.warmBoundary && s.warmBoundary > 0 {
+			s.warmEndCycle = cycle // warm-up window fully retired (RunWindow)
+		}
+		if s.retirePtr == s.measureBoundary && s.measureBoundary > 0 {
+			s.measureEndCycle = cycle // measurement window fully retired
+		}
 	}
 }

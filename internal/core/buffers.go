@@ -1,0 +1,87 @@
+package core
+
+import (
+	"repro/internal/branch"
+	"repro/internal/emu"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// Buffers holds every per-run allocation a Simulator needs — the per-trace
+// dependence and timing slices, the uop slab, the fetch ring, the cache
+// hierarchy, and the branch predictor — so sweep drivers that simulate many
+// cells back to back (figure benchmarks, the sampler's measurement windows)
+// reuse memory instead of reallocating ~100 bytes per trace entry per cell.
+//
+// A Buffers is owned by one run at a time: it is NOT safe for concurrent
+// use. Concurrent drivers keep one per worker (experiments.Harness does this
+// with a sync.Pool). The zero value is ready to use.
+type Buffers struct {
+	prod        []prodRecord
+	done        []int64
+	dispCluster []int8
+	srcIdx      [][3]int32
+	srcTC       [][3]bool
+	nsrc        []int8
+	memDep      []int32
+	waiterHead  []int32
+	pool        []uop
+	fetchQ      []fetchEntry
+	calBuf      []int32
+	lastStore   map[uint64]int32
+
+	hier    *mem.Hierarchy
+	hierCfg mem.HierarchyConfig
+	pred    *branch.Predictor
+}
+
+// NewBuffers returns an empty buffer set.
+func NewBuffers() *Buffers { return &Buffers{} }
+
+// grown returns s resized to n elements, reusing the backing array when it
+// is large enough. Contents are unspecified; callers initialize what they
+// read.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// hierarchy returns a reset hierarchy for cfg, reusing the cached one when
+// the geometry matches (sweeps vary width/bypass far more often than cache
+// configuration).
+func (b *Buffers) hierarchy(cfg mem.HierarchyConfig) *mem.Hierarchy {
+	if b.hier != nil && b.hierCfg == cfg {
+		b.hier.Reset()
+		return b.hier
+	}
+	b.hier = mem.MustHierarchy(cfg)
+	b.hierCfg = cfg
+	return b.hier
+}
+
+// predictor returns a reset predictor, reusing the cached tables.
+func (b *Buffers) predictor() *branch.Predictor {
+	if b.pred != nil {
+		b.pred.Reset()
+		return b.pred
+	}
+	b.pred = branch.New()
+	return b.pred
+}
+
+// Run is core.Run drawing all per-run allocations from b.
+func (b *Buffers) Run(cfg machine.Config, workload string, trace []emu.TraceEntry) (*Result, error) {
+	return b.RunBackend(cfg, workload, trace, defaultBackend)
+}
+
+// RunBackend is Run with an explicit scheduler backend.
+func (b *Buffers) RunBackend(cfg machine.Config, workload string, trace []emu.TraceEntry, be Backend) (*Result, error) {
+	s, err := newSim(cfg, workload, trace, b)
+	if err != nil {
+		return nil, err
+	}
+	s.SetBackend(be)
+	return s.Simulate()
+}

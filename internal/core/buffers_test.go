@@ -1,0 +1,103 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// TestBuffersReuseIdentical proves a shared Buffers changes nothing: every
+// cell of a small sweep produces a Result deeply equal to a fresh-allocation
+// run, including when traces of different lengths alternate (stale tails).
+func TestBuffersReuseIdentical(t *testing.T) {
+	short := loopProgram(t, "li r1, 0", 40, repeatBody("addq r1, #1, r1", 4))
+	long := loopProgram(t, `
+        li r1, 0
+        li r8, 4096`, 300, `
+        ldq r2, 0(r8)
+        addq r2, #1, r2
+        stq r2, 0(r8)
+        addq r8, #8, r8
+        mulq r1, r2, r3`)
+	var traces [][]emu.TraceEntry
+	for _, p := range []*isa.Program{short, long} {
+		tr, err := emu.Trace(p, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, tr)
+	}
+
+	buf := NewBuffers()
+	for _, b := range []Backend{BackendEvent, BackendPoll} {
+		for round := 0; round < 2; round++ {
+			for ti, trace := range traces {
+				for _, cfg := range []machine.Config{machine.NewBaseline(4), machine.NewRBFull(8)} {
+					want, err := RunBackend(cfg, "w", trace, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := buf.RunBackend(cfg, "w", trace, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s/%s trace %d round %d: buffered result diverges:\n got %+v\nwant %+v",
+							cfg.Name, b, ti, round, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunWindowSplit checks the warm-up/measurement accounting: the split
+// sums to the full run, a zero warm-up reproduces Run exactly, and warming
+// state in makes the boundary well defined.
+func TestRunWindowSplit(t *testing.T) {
+	p := loopProgram(t, "li r1, 0", 200, repeatBody("addq r1, #1, r1", 3))
+	trace, err := emu.Trace(p, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.NewBaseline(4)
+
+	full, err := Run(cfg, "w", trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := RunWindow(cfg, "w", trace, WindowOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.MeasuredCycles != full.Cycles || zero.MeasuredInstructions != full.Instructions {
+		t.Fatalf("warmup=0 window (%d insts / %d cycles) != full run (%d / %d)",
+			zero.MeasuredInstructions, zero.MeasuredCycles, full.Instructions, full.Cycles)
+	}
+
+	warm := len(trace) / 3
+	wr, err := RunWindow(cfg, "w", trace, WindowOptions{Warmup: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.WarmupInstructions+wr.MeasuredInstructions != full.Instructions {
+		t.Fatalf("instruction split %d+%d != %d",
+			wr.WarmupInstructions, wr.MeasuredInstructions, full.Instructions)
+	}
+	if wr.WarmupCycles+wr.MeasuredCycles != full.Cycles {
+		t.Fatalf("cycle split %d+%d != %d", wr.WarmupCycles, wr.MeasuredCycles, full.Cycles)
+	}
+	if wr.WarmupCycles <= 0 || wr.MeasuredCycles <= 0 {
+		t.Fatalf("degenerate split: warmup %d cycles, measured %d", wr.WarmupCycles, wr.MeasuredCycles)
+	}
+	if ipc := wr.MeasuredIPC(); ipc <= 0 {
+		t.Fatalf("measured IPC %f", ipc)
+	}
+
+	if _, err := RunWindow(cfg, "w", trace, WindowOptions{Warmup: len(trace) + 1}); err == nil {
+		t.Fatal("warmup beyond window accepted")
+	}
+}

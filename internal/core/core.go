@@ -254,10 +254,28 @@ type Simulator struct {
 	dpRegs    [isa.NumRegs]uint64
 	dpRB      [isa.NumRegs]rbVal
 	dpEnabled bool
+
+	// buf, when non-nil, supplied the per-run slices above and receives any
+	// regrown backing arrays when the run finishes (see Buffers).
+	buf *Buffers
+
+	// Warm-up/measurement split (RunWindow): retiring instruction index
+	// warmBoundary records its cycle in warmEndCycle, and likewise
+	// measureBoundary in measureEndCycle. 0 = no split.
+	warmBoundary    int32
+	warmEndCycle    int64
+	measureBoundary int32
+	measureEndCycle int64
 }
 
 // New builds a simulator for a configuration and trace.
 func New(cfg machine.Config, workload string, trace []emu.TraceEntry) (*Simulator, error) {
+	return newSim(cfg, workload, trace, nil)
+}
+
+// newSim builds a simulator, drawing per-run allocations from buf when it is
+// non-nil.
+func newSim(cfg machine.Config, workload string, trace []emu.TraceEntry, buf *Buffers) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -265,10 +283,6 @@ func New(cfg machine.Config, workload string, trace []emu.TraceEntry) (*Simulato
 		cfg:             cfg,
 		backend:         defaultBackend,
 		trace:           trace,
-		hier:            mem.MustHierarchy(cfg.Mem),
-		pred:            branch.New(),
-		prod:            make([]prodRecord, len(trace)),
-		done:            make([]int64, len(trace)),
 		scheds:          make([]schedList, cfg.NumSchedulers),
 		freeHead:        nilID,
 		fetchQCap:       int(cfg.FrontLatency+2) * cfg.FrontWidth,
@@ -279,16 +293,40 @@ func New(cfg machine.Config, workload string, trace []emu.TraceEntry) (*Simulato
 		watchdogWindow:  defaultWatchdogWindow,
 		res:             &Result{Machine: cfg.Name, Workload: workload},
 		dpEnabled:       cfg.DatapathCheck,
+		buf:             buf,
 	}
-	s.fetchQ = make([]fetchEntry, s.fetchQCap)
+	n := len(trace)
+	slabCap := cfg.WindowSize + 2*cfg.FrontWidth
+	if buf == nil {
+		s.hier = mem.MustHierarchy(cfg.Mem)
+		s.pred = branch.New()
+		s.prod = make([]prodRecord, n)
+		s.done = make([]int64, n)
+		s.dispCluster = make([]int8, n)
+		s.fetchQ = make([]fetchEntry, s.fetchQCap)
+		// Slab-allocate the window once; squashed wrong-path entries can
+		// briefly outlive their window slot while awaiting their calendar
+		// pop, hence the slack (the slab still grows on demand if it ever
+		// runs dry).
+		s.pool = make([]uop, 0, slabCap)
+	} else {
+		s.hier = buf.hierarchy(cfg.Mem)
+		s.pred = buf.predictor()
+		buf.prod = grown(buf.prod, n)
+		clear(buf.prod) // stale schedules/flags from the previous run
+		buf.done = grown(buf.done, n)
+		buf.dispCluster = grown(buf.dispCluster, n)
+		buf.fetchQ = grown(buf.fetchQ, s.fetchQCap)
+		if cap(buf.pool) < slabCap {
+			buf.pool = make([]uop, 0, slabCap)
+		}
+		s.prod, s.done, s.dispCluster = buf.prod, buf.done, buf.dispCluster
+		s.fetchQ = buf.fetchQ
+		s.pool = buf.pool[:0]
+	}
 	for i := range s.scheds {
 		s.scheds[i] = schedList{head: nilID, tail: nilID, rdyHead: nilID, rdyTail: nilID}
 	}
-	// Slab-allocate the window once; squashed wrong-path entries can briefly
-	// outlive their window slot while awaiting their calendar pop, hence the
-	// slack (the slab still grows on demand if it ever runs dry).
-	s.pool = make([]uop, 0, cfg.WindowSize+2*cfg.FrontWidth)
-	s.dispCluster = make([]int8, len(trace))
 	for i := range s.prod {
 		s.prod[i].t = -1
 		s.done[i] = -1
@@ -535,8 +573,14 @@ func (s *Simulator) Simulate() (*Result, error) {
 	srcIdx, srcTC, nsrc, memDep := s.buildDependences()
 	if s.backend == BackendEvent {
 		s.cal = sched.NewCalendar(calendarHorizon)
-		s.calBuf = make([]int32, 0, s.cfg.FrontWidth*4)
-		s.waiterHead = make([]int32, len(s.trace))
+		if s.buf != nil {
+			s.calBuf = s.buf.calBuf[:0]
+			s.buf.waiterHead = grown(s.buf.waiterHead, len(s.trace))
+			s.waiterHead = s.buf.waiterHead
+		} else {
+			s.calBuf = make([]int32, 0, s.cfg.FrontWidth*4)
+			s.waiterHead = make([]int32, len(s.trace))
+		}
 		for i := range s.waiterHead {
 			s.waiterHead[i] = nilID
 		}
@@ -596,6 +640,11 @@ func (s *Simulator) Simulate() (*Result, error) {
 	s.res.L2 = s.hier.L2().Stats()
 	for _, te := range s.trace {
 		s.res.Table1Counts[isa.ClassOf(te.Inst.Op).Row]++
+	}
+	if s.buf != nil {
+		// Hand regrown backing arrays back for the next run.
+		s.buf.pool = s.pool
+		s.buf.calBuf = s.calBuf
 	}
 	return s.res, nil
 }
@@ -668,15 +717,33 @@ func (s *Simulator) nextActiveCycle(cycle int64) int64 {
 // would discover the same orderings in its load/store queue).
 func (s *Simulator) buildDependences() (srcIdx [][3]int32, srcTC [][3]bool, nsrc []int8, memDep []int32) {
 	n := len(s.trace)
-	srcIdx = make([][3]int32, n)
-	srcTC = make([][3]bool, n)
-	nsrc = make([]int8, n)
-	memDep = make([]int32, n)
+	var lastStore map[uint64]int32
+	if s.buf != nil {
+		// Every element read is written first (nsrc/memDep are fully
+		// assigned; srcIdx/srcTC are read only below nsrc), so reuse without
+		// clearing.
+		s.buf.srcIdx = grown(s.buf.srcIdx, n)
+		s.buf.srcTC = grown(s.buf.srcTC, n)
+		s.buf.nsrc = grown(s.buf.nsrc, n)
+		s.buf.memDep = grown(s.buf.memDep, n)
+		srcIdx, srcTC, nsrc, memDep = s.buf.srcIdx, s.buf.srcTC, s.buf.nsrc, s.buf.memDep
+		if s.buf.lastStore == nil {
+			s.buf.lastStore = make(map[uint64]int32)
+		} else {
+			clear(s.buf.lastStore)
+		}
+		lastStore = s.buf.lastStore
+	} else {
+		srcIdx = make([][3]int32, n)
+		srcTC = make([][3]bool, n)
+		nsrc = make([]int8, n)
+		memDep = make([]int32, n)
+		lastStore = make(map[uint64]int32)
+	}
 	var lastWriter [isa.NumRegs]int32
 	for i := range lastWriter {
 		lastWriter[i] = -1
 	}
-	lastStore := make(map[uint64]int32)
 	var regs [4]isa.Reg
 	for i, te := range s.trace {
 		cls := te.Inst.EffectiveClass()

@@ -64,16 +64,65 @@ func (e *Emulator) Halted() bool { return e.halted }
 // InstCount is the number of committed instructions so far.
 func (e *Emulator) InstCount() int64 { return e.seq }
 
+// State is a resumable snapshot of the architectural machine state: the
+// register file, PC, halt flag, dynamic instruction count, and a
+// copy-on-write memory snapshot. It is the in-memory form of a checkpoint
+// (internal/ckpt owns the on-disk encoding).
+type State struct {
+	Regs   [isa.NumRegs]uint64
+	PC     int
+	Halted bool
+	Seq    int64
+	Mem    *MemSnapshot
+}
+
+// State captures the emulator's architectural state. The emulator keeps
+// running afterwards; memory pages are shared copy-on-write.
+func (e *Emulator) State() *State {
+	return &State{Regs: e.Regs, PC: e.PC, Halted: e.halted, Seq: e.seq, Mem: e.Mem.Snapshot()}
+}
+
+// Resume builds an emulator continuing from a captured state. The program
+// must be the same image the state was captured from; Resume does not (and
+// cannot) verify that, so callers pair states with a program identity (the
+// checkpoint format records the workload name and instruction count).
+func Resume(prog *isa.Program, st *State) *Emulator {
+	return &Emulator{
+		Regs: st.Regs, Mem: st.Mem.NewMemory(), PC: st.PC,
+		prog: prog, halted: st.Halted, seq: st.Seq,
+	}
+}
+
+// writeDest commits a register result and records it in the trace entry.
+func (e *Emulator) writeDest(t *TraceEntry, r isa.Reg, v uint64) {
+	if r == isa.RZero {
+		return // discarded, and not recorded in the trace
+	}
+	e.Regs[r] = v
+	t.Result, t.HasResult = v, true
+}
+
 // Step executes one instruction and returns its trace entry.
 func (e *Emulator) Step() (TraceEntry, error) {
+	var t TraceEntry
+	err := e.StepInto(&t)
+	return t, err
+}
+
+// StepInto executes one instruction, writing its trace entry into t — the
+// allocation-free form of Step for fast-forward loops that execute millions
+// of instructions and inspect each entry in place.
+//
+//rblint:hotpath fast-forward inner step: the sampler executes millions of these per cell plan
+func (e *Emulator) StepInto(t *TraceEntry) error {
 	if e.halted {
-		return TraceEntry{}, fmt.Errorf("emu: program has halted")
+		return errHalted
 	}
 	if e.PC < 0 || e.PC >= len(e.prog.Insts) {
-		return TraceEntry{}, fmt.Errorf("emu: pc %d out of range [0,%d)", e.PC, len(e.prog.Insts))
+		return e.errPCRange()
 	}
 	in := e.prog.Insts[e.PC]
-	t := TraceEntry{Seq: e.seq, PC: e.PC, Inst: in, NextPC: e.PC + 1}
+	*t = TraceEntry{Seq: e.seq, PC: e.PC, Inst: in, NextPC: e.PC + 1}
 
 	ra := e.Regs[in.Ra]
 	rb := e.Regs[in.Rb]
@@ -82,21 +131,13 @@ func (e *Emulator) Step() (TraceEntry, error) {
 	}
 	c := isa.ClassOf(in.Op)
 
-	writeDest := func(r isa.Reg, v uint64) {
-		if r == isa.RZero {
-			return // discarded, and not recorded in the trace
-		}
-		e.Regs[r] = v
-		t.Result, t.HasResult = v, true
-	}
-
 	switch {
 	case in.Op == isa.HALT:
 		e.halted = true
 	case in.Op == isa.LDA:
-		writeDest(in.Ra, e.Regs[in.Rb]+uint64(in.Imm))
+		e.writeDest(t, in.Ra, e.Regs[in.Rb]+uint64(in.Imm))
 	case in.Op == isa.LDAH:
-		writeDest(in.Ra, e.Regs[in.Rb]+uint64(in.Imm)*65536)
+		e.writeDest(t, in.Ra, e.Regs[in.Rb]+uint64(in.Imm)*65536)
 	case c.IsLoad:
 		t.EA = e.Regs[in.Rb] + uint64(in.Imm)
 		var v uint64
@@ -108,7 +149,7 @@ func (e *Emulator) Step() (TraceEntry, error) {
 		case isa.LDBU:
 			v = e.Mem.Read(t.EA, 1)
 		}
-		writeDest(in.Ra, v)
+		e.writeDest(t, in.Ra, v)
 	case c.IsStore:
 		t.EA = e.Regs[in.Rb] + uint64(in.Imm)
 		switch in.Op {
@@ -126,25 +167,39 @@ func (e *Emulator) Step() (TraceEntry, error) {
 		}
 	case in.Op == isa.BR || in.Op == isa.BSR:
 		t.Taken = true
-		writeDest(in.Ra, uint64(e.PC+1))
+		e.writeDest(t, in.Ra, uint64(e.PC+1))
 		t.NextPC = e.PC + 1 + int(in.Imm)
 	case in.Op == isa.JMP, in.Op == isa.JSR, in.Op == isa.RET:
 		t.Taken = true
 		target := int(rb)
-		writeDest(in.Ra, uint64(e.PC+1))
+		e.writeDest(t, in.Ra, uint64(e.PC+1))
 		t.NextPC = target
 	default:
 		v, err := evalOperate(in.Op, ra, rb, e.Regs[in.Rc])
 		if err != nil {
-			return TraceEntry{}, fmt.Errorf("emu: pc %d: %v", e.PC, err)
+			return e.errEval(err)
 		}
-		writeDest(in.Rc, v)
+		e.writeDest(t, in.Rc, v)
 	}
 
 	e.PC = t.NextPC
 	e.seq++
-	return t, nil
+	return nil
 }
+
+// errPCRange and errEval keep error construction (and its interface boxing)
+// out of StepInto's hot body; they run at most once per simulation.
+func (e *Emulator) errPCRange() error {
+	return fmt.Errorf("emu: pc %d out of range [0,%d)", e.PC, len(e.prog.Insts))
+}
+
+func (e *Emulator) errEval(err error) error {
+	return fmt.Errorf("emu: pc %d: %v", e.PC, err)
+}
+
+// errHalted is allocated once so the hotpath Step never constructs an error
+// on the (caller-checkable) already-halted path.
+var errHalted = fmt.Errorf("emu: program has halted")
 
 // Eval computes the result of a three-operand (or one-input) operate
 // instruction outside the emulator — used by the core's wrong-path model to
@@ -303,12 +358,12 @@ func cmov(cond bool, rb, rcOld uint64) uint64 {
 // are caught rather than silently truncated.
 func (e *Emulator) Run(max int64, fn func(TraceEntry)) (int64, error) {
 	start := e.seq
+	var t TraceEntry
 	for !e.halted {
 		if e.seq-start >= max {
 			return e.seq - start, fmt.Errorf("emu: exceeded %d instructions without halting", max)
 		}
-		t, err := e.Step()
-		if err != nil {
+		if err := e.StepInto(&t); err != nil {
 			return e.seq - start, err
 		}
 		if fn != nil {

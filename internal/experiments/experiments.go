@@ -49,7 +49,19 @@ type Harness struct {
 	pool  *pool.Pool    // nil: run cells inline, serially
 	cache *rcache.Cache // cell results, unit cost
 	runs  atomic.Int64  // simulations actually executed (cache fills)
+	bufs  sync.Pool     // *core.Buffers, one in flight per running cell
 }
+
+// getBuf takes a reusable simulator buffer set (never nil).
+func (h *Harness) getBuf() *core.Buffers {
+	if b, ok := h.bufs.Get().(*core.Buffers); ok {
+		return b
+	}
+	return core.NewBuffers()
+}
+
+// putBuf returns a buffer set for reuse.
+func (h *Harness) putBuf(b *core.Buffers) { h.bufs.Put(b) }
 
 // NewHarness builds a private harness (its own cache) running up to
 // parallel cells concurrently; parallel <= 1 selects the inline serial
@@ -119,7 +131,9 @@ func (h *Harness) RunCell(ctx context.Context, cfg machine.Config, w *workload.W
 		if err != nil {
 			return nil, 0, err
 		}
-		r, err := core.Run(cfg, w.Name, trace)
+		buf := h.getBuf()
+		defer h.putBuf(buf)
+		r, err := buf.Run(cfg, w.Name, trace)
 		if err != nil {
 			return nil, 0, fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
 		}

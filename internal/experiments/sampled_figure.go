@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// SampledFigure is the sampled-vs-full comparison table: for one machine and
+// one sample spec, each row holds a workload's full-run oracle IPC next to
+// the sampled estimate and its 95% confidence interval.
+type SampledFigure struct {
+	Machine string
+	Spec    SampleSpec
+	Rows    []SampledFigureRow
+}
+
+// SampledFigureRow is one workload's oracle-vs-estimate pair.
+type SampledFigureRow struct {
+	Workload string
+	FullIPC  float64
+	Sampled  *SampledResult
+}
+
+// RelErr is the sampled estimate's relative error against the oracle.
+func (r *SampledFigureRow) RelErr() float64 {
+	if r.FullIPC == 0 {
+		return 0
+	}
+	return math.Abs(r.Sampled.MeanIPC-r.FullIPC) / r.FullIPC
+}
+
+// SampledVsFull runs every workload both ways — the full-run oracle and the
+// checkpoint-sampled estimator — on one machine. It needs a *Harness rather
+// than a Runner because sampling reaches the checkpoint library and the cell
+// cache underneath the Runner surface.
+func SampledVsFull(ctx context.Context, h *Harness, cfg machine.Config, wls []*workload.Workload, spec SampleSpec) (*SampledFigure, error) {
+	f := &SampledFigure{Machine: cfg.Name, Spec: spec}
+	for _, w := range wls {
+		full, err := h.RunCell(ctx, cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		sampled, err := h.RunSampled(ctx, cfg, w, spec)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		f.Rows = append(f.Rows, SampledFigureRow{
+			Workload: w.Name,
+			FullIPC:  full.IPC(),
+			Sampled:  sampled,
+		})
+	}
+	return f, nil
+}
+
+// Render writes the comparison as a table: oracle IPC, sampled IPC with CI,
+// relative error, and how much of the stream ran in detail.
+func (f *SampledFigure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Sampled vs full simulation, %s (k=%d, warmup=%d, measure=%d)\n",
+		f.Machine, f.Spec.Samples, f.Spec.Warmup, f.Spec.Measure); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %9s %9s %8s %7s %9s %9s\n",
+		"workload", "full", "sampled", "ci95", "err%", "detailed", "of insts"); err != nil {
+		return err
+	}
+	for i := range f.Rows {
+		r := &f.Rows[i]
+		inCI := " "
+		if math.Abs(r.Sampled.MeanIPC-r.FullIPC) > r.Sampled.CI95 {
+			inCI = "!" // oracle outside the reported CI
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %9.4f %9.4f %8.4f %6.2f%s %9d %9d\n",
+			r.Workload, r.FullIPC, r.Sampled.MeanIPC, r.Sampled.CI95,
+			100*r.RelErr(), inCI,
+			r.Sampled.MeasuredInstructions, r.Sampled.TotalInstructions); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "(! marks an oracle outside the sampled 95% CI)")
+	return err
+}

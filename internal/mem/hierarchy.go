@@ -239,6 +239,6 @@ func (h *Hierarchy) Reset() {
 	for i := range h.memBankFree {
 		h.memBankFree[i] = 0
 	}
-	h.pendingD = make(map[uint64]int64)
-	h.pendingI = make(map[uint64]int64)
+	clear(h.pendingD)
+	clear(h.pendingI)
 }

@@ -1,0 +1,99 @@
+package mem
+
+// CacheState is the serializable warm state of one cache level: the tag,
+// valid/dirty, and LRU arrays. Statistics are not part of the state — a
+// resumed simulation starts its own counters.
+type CacheState struct {
+	Tags  []uint64
+	Flags []uint8
+	LRU   []uint8
+}
+
+// State copies out the cache's warm state.
+func (c *Cache) State() CacheState {
+	st := CacheState{
+		Tags:  make([]uint64, len(c.tags)),
+		Flags: make([]uint8, len(c.flags)),
+		LRU:   make([]uint8, len(c.lru)),
+	}
+	copy(st.Tags, c.tags)
+	copy(st.Flags, c.flags)
+	copy(st.LRU, c.lru)
+	return st
+}
+
+// SetState installs warm state captured from an identically configured cache
+// and zeroes the statistics. Mismatched array lengths (a state captured from
+// a different geometry) are ignored, leaving the cache cold.
+func (c *Cache) SetState(st CacheState) {
+	if len(st.Tags) != len(c.tags) || len(st.Flags) != len(c.flags) || len(st.LRU) != len(c.lru) {
+		return
+	}
+	copy(c.tags, st.Tags)
+	copy(c.flags, st.Flags)
+	copy(c.lru, st.LRU)
+	c.stats = CacheStats{}
+}
+
+// ResetStats zeroes the access counters without disturbing cache contents —
+// the boundary between a warm-up window and a measurement window.
+func (c *Cache) ResetStats() { c.stats = CacheStats{} }
+
+// HierState is the serializable warm state of the hierarchy: the three cache
+// levels' tag arrays. Transient timing state (bank reservations, in-flight
+// fills) is deliberately excluded — it drains in a few hundred cycles and a
+// checkpoint represents a quiesced machine.
+type HierState struct {
+	L1I, L1D, L2 CacheState
+}
+
+// State captures the warm cache contents.
+func (h *Hierarchy) State() HierState {
+	return HierState{L1I: h.l1i.State(), L1D: h.l1d.State(), L2: h.l2.State()}
+}
+
+// SetState installs warm cache contents and resets transient timing state
+// (bank reservations and pending fills) to a quiesced machine.
+func (h *Hierarchy) SetState(st HierState) {
+	h.l1i.SetState(st.L1I)
+	h.l1d.SetState(st.L1D)
+	h.l2.SetState(st.L2)
+	for i := range h.l2BankFree {
+		h.l2BankFree[i] = 0
+	}
+	for i := range h.memBankFree {
+		h.memBankFree[i] = 0
+	}
+	clear(h.pendingD)
+	clear(h.pendingI)
+}
+
+// ResetStats zeroes all cache counters, keeping contents warm.
+func (h *Hierarchy) ResetStats() {
+	h.l1i.ResetStats()
+	h.l1d.ResetStats()
+	h.l2.ResetStats()
+}
+
+// WarmFetch touches the instruction-fetch path for functional warming: tag
+// state evolves exactly as a timed Fetch would evolve it, but no cycles are
+// charged and no bank/MSHR state is consulted.
+func (h *Hierarchy) WarmFetch(pcBytes uint64) {
+	if hit, _ := h.l1i.Access(pcBytes, false); !hit {
+		h.l2.Access(pcBytes, false)
+	}
+}
+
+// WarmLoad touches the data-load path for functional warming.
+func (h *Hierarchy) WarmLoad(addr uint64) {
+	if hit, _ := h.l1d.Access(addr, false); !hit {
+		h.l2.Access(addr, false)
+	}
+}
+
+// WarmStore touches the data-store path for functional warming.
+func (h *Hierarchy) WarmStore(addr uint64) {
+	if hit, _ := h.l1d.Access(addr, true); !hit {
+		h.l2.Access(addr, false)
+	}
+}

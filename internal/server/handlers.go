@@ -201,6 +201,7 @@ type SimResponse struct {
 //
 //	GET /v1/sim?workload=compress&machine=rb-full&width=8
 //	GET /v1/sim?workload=mcf&machine=ideal&no-bypass-levels=1,2&check=true
+//	GET /v1/sim?workload=mcf&machine=rb-full&samples=10&warmup=2000&measure=2000
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	wlName := q.Get("workload")
@@ -262,6 +263,41 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	cfg.DatapathCheck = datapathCheck
 	cfg.ModelWrongPath = wrongPath
 
+	if q.Get("samples") != "" {
+		if datapathCheck || wrongPath || q.Get("sched") != "" {
+			writeError(w, http.StatusBadRequest,
+				"samples cannot be combined with check, wrong-path, or sched (sampled cells run the default event backend without datapath verification)")
+			return
+		}
+		samples, err := intParam(q.Get("samples"), 0)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad samples: "+err.Error())
+			return
+		}
+		warmup, err := intParam(q.Get("warmup"), 2000)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad warmup: "+err.Error())
+			return
+		}
+		measure, err := intParam(q.Get("measure"), 2000)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad measure: "+err.Error())
+			return
+		}
+		ffWarm, err := intParam(q.Get("ff-warm"), 0)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad ff-warm: "+err.Error())
+			return
+		}
+		spec := experiments.SampleSpec{Samples: samples, Warmup: warmup, Measure: measure, FFWarm: int64(ffWarm)}
+		if err := spec.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.serveSampledSim(w, r, cfg, wl, spec)
+		return
+	}
+
 	key := strings.Join([]string{
 		"sim", cfg.Name, wl.Name, noLevels,
 		strconv.FormatBool(datapathCheck), strconv.FormatBool(wrongPath), backend.String(),
@@ -289,6 +325,40 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 			MispredictRate: res.MispredictRate(),
 			AvgOccupancy:   res.AvgOccupancy(),
 			Backend:        backend.String(),
+		}, "", "  ")
+		if err != nil {
+			return cachedResponse{}, err
+		}
+		return cachedResponse{body: append(body, '\n'), contentType: "application/json"}, nil
+	})
+}
+
+// SampledSimResponse is the /v1/sim body when samples= is present: the
+// sampled estimate with its confidence interval instead of a full Result.
+type SampledSimResponse struct {
+	*experiments.SampledResult
+	RelCI float64 `json:"rel_ci"`
+}
+
+// serveSampledSim runs the SMARTS-sampled estimator for one cell:
+//
+//	GET /v1/sim?workload=mcf&machine=rb-full&samples=10&warmup=2000&measure=2000
+//
+// The harness's checkpoint library and sample-cell caches make repeated
+// requests (and requests sharing a fast-forward) cheap.
+func (s *Server) serveSampledSim(w http.ResponseWriter, r *http.Request, cfg machine.Config, wl *workload.Workload, spec experiments.SampleSpec) {
+	key := strings.Join([]string{
+		"simsampled", cfg.Name, wl.Name,
+		fmt.Sprintf("%d/%d/%d/%d", spec.Samples, spec.Warmup, spec.Measure, spec.FFWarm),
+	}, "|")
+	s.serveCached(w, r, key, func() (cachedResponse, error) {
+		res, err := s.harness.RunSampled(r.Context(), cfg, wl, spec)
+		if err != nil {
+			return cachedResponse{}, err
+		}
+		body, err := json.MarshalIndent(SampledSimResponse{
+			SampledResult: res,
+			RelCI:         res.RelCI(),
 		}, "", "  ")
 		if err != nil {
 			return cachedResponse{}, err

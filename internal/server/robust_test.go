@@ -43,6 +43,21 @@ func TestBadParamsNever500(t *testing.T) {
 		"/v1/sim?workload=compress&no-bypass-levels=9",
 		"/v1/sim?workload=compress&no-bypass-levels=x",
 		"/v1/sim?workload=compress&no-bypass-levels=1,,2",
+		// /v1/sim: sampled-simulation parameters.
+		"/v1/sim?workload=compress&samples=abc",
+		"/v1/sim?workload=compress&samples=1",
+		"/v1/sim?workload=compress&samples=-4",
+		"/v1/sim?workload=compress&samples=99999999",
+		"/v1/sim?workload=compress&samples=10&warmup=abc",
+		"/v1/sim?workload=compress&samples=10&warmup=-1",
+		"/v1/sim?workload=compress&samples=10&measure=0",
+		"/v1/sim?workload=compress&samples=10&measure=-3",
+		"/v1/sim?workload=compress&samples=10&ff-warm=-5",
+		"/v1/sim?workload=compress&samples=10&ff-warm=x",
+		"/v1/sim?workload=compress&samples=10&check=true",
+		"/v1/sim?workload=compress&samples=10&sched=poll",
+		// Windows larger than the workload cannot tile it.
+		"/v1/sim?workload=compress&samples=10&warmup=500000&measure=500000",
 		// /v1/check.
 		"/v1/check?layer=bogus",
 		"/v1/check?full=maybe",

@@ -218,6 +218,29 @@ func TestSimEndpoint(t *testing.T) {
 	}
 }
 
+func TestSimSampledEndpoint(t *testing.T) {
+	rec, body := get(t, "/v1/sim?workload=mcf&machine=rb-full&width=8&samples=10&warmup=2000&measure=2000")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sampled sim status = %d: %s", rec.Code, body)
+	}
+	var res SampledSimResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("sampled sim JSON: %v", err)
+	}
+	if res.MeanIPC <= 0 || res.MeanIPC > 8 {
+		t.Fatalf("sampled IPC = %v, want in (0, 8]", res.MeanIPC)
+	}
+	if len(res.CellIPCs) != 10 || res.CI95 <= 0 {
+		t.Fatalf("sampled cells = %d ci = %v, want 10 cells with a positive CI", len(res.CellIPCs), res.CI95)
+	}
+	// Same parameters again: byte-identical (determinism guarantees it even
+	// without the response cache).
+	_, body2 := get(t, "/v1/sim?workload=mcf&machine=rb-full&width=8&samples=10&warmup=2000&measure=2000")
+	if !bytes.Equal(body, body2) {
+		t.Fatal("repeated sampled sim not byte-identical")
+	}
+}
+
 func TestCheckEndpoint(t *testing.T) {
 	rec, body := get(t, "/v1/check?layer=converter")
 	if rec.Code != http.StatusOK {

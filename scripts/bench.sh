@@ -15,7 +15,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH='Figure9$|Figure11$|Figure13$|SimulatorThroughput$|ServerThroughput$|FaultCampaign$|PackedEval|LintAll$'
+BENCH='Figure9$|Figure11$|Figure13$|SimulatorThroughput$|SampledSimulation$|ServerThroughput$|FaultCampaign$|PackedEval|LintAll$'
 COUNT=3
 OUT=''
 

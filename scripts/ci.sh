@@ -35,6 +35,7 @@ go run ./cmd/rbfault -quick >/dev/null
 go test -run '^$' -fuzz '^FuzzPackedEvalEquivalence$' -fuzztime 5s ./internal/gates/
 go test -run '^$' -fuzz '^FuzzAdderEquivalence$' -fuzztime 5s ./internal/check/
 go test -run '^$' -fuzz '^FuzzLockstep$' -fuzztime 5s ./internal/check/
+go test -run '^$' -fuzz '^FuzzCheckpointRoundtrip$' -fuzztime 5s ./internal/ckpt/
 # Focused race leg: the packages with real cross-goroutine traffic (worker
 # pool, response cache, HTTP service, fault campaigns) get a second -race
 # shake beyond the one-shot full run above, to catch schedule-dependent
