@@ -110,6 +110,15 @@ var artifacts = []artifact{
 		if err != nil {
 			return err
 		}
+		if ciTarget > 0 {
+			// Variance-adaptive mode: -samples seeds the first round, then
+			// k doubles until the relative CI meets -ci-target.
+			f, err := experiments.AdaptiveVsFull(ctx, h, cfg, workload.SPECint2000(), sampledSpec, ciTarget)
+			if err != nil {
+				return err
+			}
+			return f.Render(w)
+		}
 		f, err := experiments.SampledVsFull(ctx, h, cfg, workload.SPECint2000(), sampledSpec)
 		if err != nil {
 			return err
@@ -119,8 +128,11 @@ var artifacts = []artifact{
 }
 
 // sampledSpec carries the -samples/-warmup/-measure/-ff-warm flags into the
-// sampled artifact.
-var sampledSpec experiments.SampleSpec
+// sampled artifact; ciTarget switches it to the variance-adaptive estimator.
+var (
+	sampledSpec experiments.SampleSpec
+	ciTarget    float64
+)
 
 func main() {
 	exp := flag.String("exp", "all", "artifact to regenerate (all, or one of: fig1 table1 table2 table3 fig9 fig10 fig11 fig12 fig13 fig14 sweeps summary sampled)")
@@ -129,6 +141,7 @@ func main() {
 	flag.IntVar(&sampledSpec.Warmup, "warmup", 2000, "sampled artifact: detailed warm-up instructions per cell")
 	flag.IntVar(&sampledSpec.Measure, "measure", 2000, "sampled artifact: measured instructions per cell")
 	ffWarm := flag.Int64("ff-warm", 0, "sampled artifact: functional-warming horizon (0 = continuous, the accurate default)")
+	flag.Float64Var(&ciTarget, "ci-target", 0, "sampled artifact: grow the cell count until the relative 95% CI half-width reaches this target (0 = fixed -samples)")
 	schedName := flag.String("sched", "event", "scheduler backend: event (calendar-queue wakeup) or poll (per-cycle rescan oracle)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")

@@ -7,18 +7,31 @@
 //	rbserve -addr 127.0.0.1:0 -addr-file /tmp/rbserve.addr   # ephemeral port
 //	rbserve -get http://127.0.0.1:8080/healthz               # probe client
 //
+//	rbserve -role=worker -addr 127.0.0.1:9001                # grid worker
+//	rbserve -role=coordinator \
+//	    -workers http://127.0.0.1:9001,http://127.0.0.1:9002 # grid front end
+//
 // Endpoints: /healthz, /metrics, /v1/workloads,
-// /v1/experiment/{name}?format=json|text, /v1/sim, /v1/check, and
-// /debug/pprof. See the README "Serving the simulator" section for curl
-// examples. SIGINT/SIGTERM drain in-flight requests before exit.
+// /v1/experiment/{name}?format=json|text, /v1/sim, /v1/check, /v1/cell,
+// /v1/batch, and /debug/pprof. See the README "Serving the simulator" and
+// "Distributed serving" sections for curl examples. SIGINT/SIGTERM drain
+// in-flight requests before exit.
+//
+// A coordinator routes each experiment cell across its -workers by
+// rendezvous hashing, retries per-worker with backoff (a worker's
+// Retry-After hint overrides the schedule), trips a per-worker circuit
+// breaker on repeated failures, and caches cell results in a shared tier so
+// re-running a sweep touches no worker at all. A worker is just a normal
+// single-process rbserve; its /v1/cell endpoint is what the coordinator
+// calls.
 //
 // The -get mode is a minimal HTTP client (fetch one URL, print the body,
 // exit non-zero on a non-2xx status) so scripts/ci.sh can smoke-test the
 // server without depending on curl or wget being installed. Transport
 // errors and retryable statuses (5xx, 429) back off exponentially for up
-// to -retries attempts, honoring Retry-After when the server (admission
-// control or an open circuit breaker) supplies one, so a probe racing the
-// server's startup or a shed request does not flap CI.
+// to -retries attempts; a server Retry-After hint (admission control or an
+// open circuit breaker) overrides the backoff schedule, so a probe racing
+// the server's startup or a shed request does not flap CI.
 package main
 
 import (
@@ -26,16 +39,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/grid"
 	"repro/internal/server"
 )
 
@@ -46,6 +59,9 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently admitted /v1 requests before shedding 429s (0 = 2*parallel)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request deadline for /v1 routes")
 	cacheMB := flag.Int64("cache-mb", 64, "rendered-response cache budget in MiB")
+	role := flag.String("role", "", "grid role: empty (single process), worker, or coordinator")
+	workers := flag.String("workers", "", "coordinator mode: comma-separated worker base URLs")
+	gridInflight := flag.Int("grid-inflight", 0, "coordinator mode: max concurrently routed cells (0 = 4 per worker)")
 	get := flag.String("get", "", "probe mode: fetch this URL, print the body, and exit")
 	retries := flag.Int("retries", 3, "probe mode: extra attempts after a transport error or retryable status")
 	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "probe mode: first backoff delay, doubled per retry")
@@ -55,12 +71,36 @@ func main() {
 		os.Exit(probe(*get, *retries, *retryBase))
 	}
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Parallel:       *parallel,
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *timeout,
 		CacheBytes:     *cacheMB << 20,
-	})
+	}
+	switch *role {
+	case "", "worker":
+		// A worker is a plain single-process server; /v1/cell is always
+		// mounted, so the role only documents intent.
+		if *workers != "" {
+			log.Fatalf("rbserve: -workers requires -role=coordinator")
+		}
+	case "coordinator":
+		if *workers == "" {
+			log.Fatalf("rbserve: -role=coordinator requires -workers")
+		}
+		for _, w := range strings.Split(*workers, ",") {
+			w = strings.TrimSpace(w)
+			if w == "" {
+				log.Fatalf("rbserve: empty worker URL in -workers")
+			}
+			cfg.Workers = append(cfg.Workers, w)
+		}
+		cfg.GridMaxInflight = *gridInflight
+	default:
+		log.Fatalf("rbserve: unknown -role %q (want worker or coordinator)", *role)
+	}
+
+	srv := server.New(cfg)
 	defer srv.Close()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -73,7 +113,11 @@ func main() {
 			log.Fatalf("rbserve: %v", err)
 		}
 	}
-	log.Printf("rbserve: listening on http://%s", bound)
+	if len(cfg.Workers) > 0 {
+		log.Printf("rbserve: coordinating %d workers, listening on http://%s", len(cfg.Workers), bound)
+	} else {
+		log.Printf("rbserve: listening on http://%s", bound)
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	done := make(chan error, 1)
@@ -99,59 +143,28 @@ func main() {
 }
 
 // probe fetches one URL and prints the body; exit status 0 only for 2xx.
-// Transport errors and retryable statuses back off exponentially: delay
-// retryBase, 2*retryBase, 4*retryBase, ... (or the server's Retry-After
-// hint when longer) across retries extra attempts.
+// The retry loop is grid.RetryClient — the same client the coordinator
+// uses against workers — so CI probes and cell routing share one policy:
+// exponential backoff from retryBase, with a server Retry-After hint
+// overriding the computed delay.
 func probe(url string, retries int, retryBase time.Duration) int {
-	client := &http.Client{Timeout: 5 * time.Minute}
-	delay := retryBase
-	for attempt := 0; ; attempt++ {
-		body, status, retryAfter, err := fetch(client, url)
-		retryable := err != nil || status >= 500 || status == http.StatusTooManyRequests
-		if retryable && attempt < retries {
-			wait := delay
-			if retryAfter > wait {
-				wait = retryAfter
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "rbserve: %v (retrying in %v, attempt %d/%d)\n", err, wait, attempt+1, retries)
-			} else {
-				fmt.Fprintf(os.Stderr, "rbserve: %s returned %d (retrying in %v, attempt %d/%d)\n",
-					url, status, wait, attempt+1, retries)
-			}
-			time.Sleep(wait)
-			delay *= 2
-			continue
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rbserve: %v\n", err)
-			return 1
-		}
-		os.Stdout.Write(body)
-		if status < 200 || status >= 300 {
-			fmt.Fprintf(os.Stderr, "rbserve: %s returned %d\n", url, status)
-			return 1
-		}
-		return 0
+	c := &grid.RetryClient{
+		HTTP:    &http.Client{Timeout: 5 * time.Minute},
+		Retries: retries,
+		Base:    retryBase,
 	}
-}
-
-// fetch performs one GET, returning the body, status, and any parsed
-// Retry-After hint.
-func fetch(client *http.Client, url string) (body []byte, status int, retryAfter time.Duration, err error) {
-	resp, err := client.Get(url)
+	if retries <= 0 {
+		c.Retries = -1 // flag 0 means "no retries", not the client default
+	}
+	body, status, err := c.Get(context.Background(), url)
 	if err != nil {
-		return nil, 0, 0, err
+		fmt.Fprintf(os.Stderr, "rbserve: %v\n", err)
+		return 1
 	}
-	defer resp.Body.Close()
-	body, err = io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, 0, 0, err
+	os.Stdout.Write(body)
+	if status < 200 || status >= 300 {
+		fmt.Fprintf(os.Stderr, "rbserve: %s returned %d\n", url, status)
+		return 1
 	}
-	if v := resp.Header.Get("Retry-After"); v != "" {
-		if sec, perr := strconv.Atoi(v); perr == nil && sec > 0 {
-			retryAfter = time.Duration(sec) * time.Second
-		}
-	}
-	return body, resp.StatusCode, retryAfter, nil
+	return 0
 }

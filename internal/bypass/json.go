@@ -1,0 +1,42 @@
+package bypass
+
+// JSON round-tripping for Config. The level bitmask is unexported (the
+// algebra above guards its invariants), so without these methods a Config
+// would marshal as "{}" and unmarshal as None() — silently stripping the
+// bypass network off any machine configuration sent over the wire. The grid
+// transport (internal/grid) ships machine.Config between coordinator and
+// workers and depends on this being exact.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalJSON encodes the configuration as the sorted list of present
+// levels, e.g. Full() as [1,2,3] and Only(1,3) as [1,3].
+func (c Config) MarshalJSON() ([]byte, error) {
+	present := make([]int, 0, NumLevels)
+	for k := 1; k <= NumLevels; k++ {
+		if c.Has(k) {
+			present = append(present, k)
+		}
+	}
+	return json.Marshal(present)
+}
+
+// UnmarshalJSON decodes a list of present levels, validating each.
+func (c *Config) UnmarshalJSON(b []byte) error {
+	var present []int
+	if err := json.Unmarshal(b, &present); err != nil {
+		return err
+	}
+	var out Config
+	for _, k := range present {
+		if k < 1 || k > NumLevels {
+			return fmt.Errorf("bypass: level %d out of range [1, %d]", k, NumLevels)
+		}
+		out.levels |= 1 << k
+	}
+	*c = out
+	return nil
+}

@@ -1,0 +1,67 @@
+package bypass
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestConfigJSONRoundTrip: every representable network survives
+// marshal/unmarshal exactly. The grid transport serializes machine
+// configurations, so a lossy round trip here would silently turn a No-1,2
+// machine into a no-bypass one on the far side.
+func TestConfigJSONRoundTrip(t *testing.T) {
+	var all []Config
+	for mask := 0; mask < 1<<NumLevels; mask++ {
+		var levels []int
+		for k := 1; k <= NumLevels; k++ {
+			if mask>>(k-1)&1 != 0 {
+				levels = append(levels, k)
+			}
+		}
+		all = append(all, Only(levels...))
+	}
+	for _, c := range all {
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", c, err)
+		}
+		var back Config
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s (%s): %v", c, b, err)
+		}
+		if back != c {
+			t.Errorf("round trip %s -> %s -> %s", c, b, back)
+		}
+	}
+}
+
+// TestConfigJSONValidates: out-of-range levels and malformed bodies are
+// rejected, and a failed decode leaves the receiver unchanged.
+func TestConfigJSONValidates(t *testing.T) {
+	for _, bad := range []string{`[0]`, `[4]`, `[-1]`, `"full"`, `{}`} {
+		c := Full()
+		if err := json.Unmarshal([]byte(bad), &c); err == nil {
+			t.Errorf("unmarshal %s succeeded, want error", bad)
+		} else if c != Full() {
+			t.Errorf("failed unmarshal of %s mutated the receiver to %s", bad, c)
+		}
+	}
+	// A struct embedding a Config round-trips through the field too.
+	type wrap struct {
+		BP Config `json:"bp"`
+	}
+	b, err := json.Marshal(wrap{BP: Full().Without(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"bp":[1,3]}` {
+		t.Fatalf("embedded encoding = %s, want {\"bp\":[1,3]}", b)
+	}
+	var back wrap
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.BP != Full().Without(2) {
+		t.Fatalf("embedded round trip = %s", back.BP)
+	}
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func adaptiveSpec() SampleSpec {
+	return SampleSpec{Samples: 2, Warmup: 2000, Measure: 2000}
+}
+
+// TestAdaptiveConverges: a loose precision target is met and reported.
+func TestAdaptiveConverges(t *testing.T) {
+	h := NewHarness(0)
+	defer h.Close()
+	w, _ := workload.ByName("gzip")
+	res, err := h.RunSampledAdaptive(context.Background(), machine.NewRBFull(8), w, adaptiveSpec(), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("target 0.9 not met: %+v", res.Rounds)
+	}
+	if len(res.Rounds) == 0 || res.SampledResult == nil {
+		t.Fatalf("result incomplete: %+v", res)
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if last.RelCI > 0.9 {
+		t.Fatalf("converged=true but final RelCI %.4f > target", last.RelCI)
+	}
+	if len(res.CellIPCs) != last.Samples {
+		t.Fatalf("final round has %d cells, result carries %d", last.Samples, len(res.CellIPCs))
+	}
+	if res.Target != 0.9 {
+		t.Fatalf("target not echoed: %v", res.Target)
+	}
+}
+
+// TestAdaptiveExhaustsGrid: an unreachable target runs the slot grid dry,
+// doubling k each round, and reports Converged=false instead of erroring.
+func TestAdaptiveExhaustsGrid(t *testing.T) {
+	h := NewHarness(0)
+	defer h.Close()
+	w, _ := workload.ByName("gzip")
+	res, err := h.RunSampledAdaptive(context.Background(), machine.NewRBFull(8), w, adaptiveSpec(), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatalf("target 1e-9 reported converged: %+v", res.Rounds)
+	}
+	if len(res.Rounds) < 2 {
+		t.Fatalf("expected multiple rounds before exhaustion, got %+v", res.Rounds)
+	}
+	for i := 1; i < len(res.Rounds); i++ {
+		if res.Rounds[i].Samples != 2*res.Rounds[i-1].Samples {
+			t.Fatalf("round %d has %d cells after %d — not doubling",
+				i, res.Rounds[i].Samples, res.Rounds[i-1].Samples)
+		}
+	}
+}
+
+// TestAdaptiveRoundReuse is the satellite's core guarantee: because round k
+// samples every (M/k)-th slot of a fixed grid, round 2k reuses all k prior
+// cells from the harness cache. Total detailed simulations therefore equal
+// the FINAL round's cell count, not the sum over rounds.
+func TestAdaptiveRoundReuse(t *testing.T) {
+	h := NewHarness(0)
+	defer h.Close()
+	w, _ := workload.ByName("gzip")
+	res, err := h.RunSampledAdaptive(context.Background(), machine.NewRBFull(8), w, adaptiveSpec(), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.Rounds[len(res.Rounds)-1].Samples
+	sum := 0
+	for _, r := range res.Rounds {
+		sum += r.Samples
+	}
+	runs := h.Runs()
+	if runs != int64(final) {
+		t.Fatalf("adaptive ran %d detailed cells; want %d (final round only), naive would be %d",
+			runs, final, sum)
+	}
+	// A tighter re-run on the same harness reuses everything.
+	if _, err := h.RunSampledAdaptive(context.Background(), machine.NewRBFull(8), w, adaptiveSpec(), 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if h.Runs() != runs {
+		t.Fatalf("re-run executed %d new simulations, want 0", h.Runs()-runs)
+	}
+}
+
+// TestAdaptiveDeterminism: independent harnesses produce identical
+// estimates and identical round trails.
+func TestAdaptiveDeterminism(t *testing.T) {
+	w, _ := workload.ByName("gcc00")
+	cfg := machine.NewBaseline(4)
+	render := func() string {
+		h := NewHarness(4)
+		defer h.Close()
+		r, err := h.RunSampledAdaptive(context.Background(), cfg, w, adaptiveSpec(), 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%v %v %v", r.MeanIPC, r.Converged, r.Rounds)
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("adaptive output not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+// TestAdaptiveBadTarget: the ci-target domain is (0, 1) exclusive.
+func TestAdaptiveBadTarget(t *testing.T) {
+	h := NewHarness(0)
+	defer h.Close()
+	w, _ := workload.ByName("gzip")
+	for _, target := range []float64{0, -0.1, 1, 1.5, math.NaN()} {
+		_, err := h.RunSampledAdaptive(context.Background(), machine.NewRBFull(8), w, adaptiveSpec(), target)
+		if !errors.Is(err, ErrBadSpec) {
+			t.Fatalf("target %v: err = %v, want ErrBadSpec", target, err)
+		}
+	}
+	// Bad spec still rejected before the target is looked at.
+	_, err := h.RunSampledAdaptive(context.Background(), machine.NewRBFull(8), w,
+		SampleSpec{Samples: 1, Measure: 100}, 0.1)
+	if !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("bad spec: err = %v, want ErrBadSpec", err)
+	}
+}
+
+// TestAdaptiveCIHonest: at the slot grid's full resolution (an unreachable
+// target drives k to M, the densest systematic sample the estimator can
+// take), the full-run oracle lands within the reported CI — the same
+// statistical contract TestSampledAccuracy pins for fixed-k sampling. At
+// small intermediate k the CI is only as honest as k cells can make it,
+// which is exactly why the loop keeps doubling.
+func TestAdaptiveCIHonest(t *testing.T) {
+	h := NewHarness(0)
+	defer h.Close()
+	ctx := context.Background()
+	cfg := machine.NewRBFull(8)
+	w, _ := workload.ByName("mcf")
+	full, err := h.RunCell(ctx, cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := h.RunSampledAdaptive(ctx, cfg, w, adaptiveSpec(), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("full %.4f adaptive %.4f ±%.4f after %v", full.IPC(), ad.MeanIPC, ad.CI95, ad.Rounds)
+	if math.Abs(ad.MeanIPC-full.IPC()) > ad.CI95 {
+		t.Errorf("full-run IPC %.4f outside adaptive CI %.4f ±%.4f (rounds %v)",
+			full.IPC(), ad.MeanIPC, ad.CI95, ad.Rounds)
+	}
+}
+
+// TestAdaptiveVsFullRender smoke-tests the figure wrapper end to end.
+func TestAdaptiveVsFullRender(t *testing.T) {
+	h := NewHarness(0)
+	defer h.Close()
+	w, _ := workload.ByName("gzip")
+	fig, err := AdaptiveVsFull(context.Background(), h, machine.NewRBFull(8),
+		[]*workload.Workload{w}, adaptiveSpec(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Adaptive sampling", "gzip", "rounds"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -171,15 +171,31 @@ func (h *Harness) RunSampled(ctx context.Context, cfg machine.Config, w *workloa
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	// Phase 1: one functional pass builds the checkpoint library. Memoized
-	// per (cache geometry, workload, FFWarm): machines differing only in
-	// width/bypass share it, and so do all sample specs.
+	lib, err := h.library(ctx, cfg, w, spec.FFWarm)
+	if err != nil {
+		return nil, err
+	}
+	starts, err := planStarts(lib.total, spec)
+	if err != nil {
+		return nil, err
+	}
+	cpis, err := h.cellCPIs(ctx, cfg, w, spec, lib, starts)
+	if err != nil {
+		return nil, err
+	}
+	return summarize(cfg, w, spec, lib, cpis), nil
+}
+
+// library builds (or fetches) the checkpoint library: one functional pass,
+// memoized per (cache geometry, workload, FFWarm) — machines differing only
+// in width/bypass share it, and so do all sample specs.
+func (h *Harness) library(ctx context.Context, cfg machine.Config, w *workload.Workload, ffWarm int64) (*ckptLibrary, error) {
 	ckKey := strings.Join([]string{
 		"ckptlib", w.Name, fmt.Sprintf("%+v", cfg.Mem),
-		fmt.Sprintf("%d", spec.FFWarm),
+		fmt.Sprintf("%d", ffWarm),
 	}, "|")
 	v, _, err := h.cache.Do(ctx, ckKey, func() (any, int64, error) {
-		lib, err := buildLibrary(cfg, w, spec.FFWarm)
+		lib, err := buildLibrary(cfg, w, ffWarm)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -188,13 +204,12 @@ func (h *Harness) RunSampled(ctx context.Context, cfg machine.Config, w *workloa
 	if err != nil {
 		return nil, err
 	}
-	lib := v.(*ckptLibrary)
-	starts, err := planStarts(lib.total, spec)
-	if err != nil {
-		return nil, err
-	}
+	return v.(*ckptLibrary), nil
+}
 
-	// Phase 2: detailed cells, parallel and cached.
+// cellCPIs runs the detailed cells at the given starts — parallel when the
+// harness has a pool, memoized per cell — and returns their CPIs in order.
+func (h *Harness) cellCPIs(ctx context.Context, cfg machine.Config, w *workload.Workload, spec SampleSpec, lib *ckptLibrary, starts []int64) ([]float64, error) {
 	cpis := make([]float64, len(starts))
 	if h.pool == nil {
 		for i := range starts {
@@ -207,44 +222,48 @@ func (h *Harness) RunSampled(ctx context.Context, cfg machine.Config, w *workloa
 			}
 			cpis[i] = cpi
 		}
-	} else {
-		var (
-			mu       sync.Mutex
-			firstErr error
-			wg       sync.WaitGroup
-		)
-		for i := range starts {
-			i := i
-			wg.Add(1)
-			err := h.pool.Submit(ctx, func() {
-				defer wg.Done()
-				cpi, err := h.runSampleCell(ctx, cfg, w, spec, lib, starts[i], i)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					return
-				}
-				cpis[i] = cpi
-			})
+		return cpis, nil
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for i := range starts {
+		i := i
+		wg.Add(1)
+		err := h.pool.Submit(ctx, func() {
+			defer wg.Done()
+			cpi, err := h.runSampleCell(ctx, cfg, w, spec, lib, starts[i], i)
+			mu.Lock()
+			defer mu.Unlock()
 			if err != nil {
-				wg.Done()
-				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
 				}
-				mu.Unlock()
-				break
+				return
 			}
-		}
-		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
+			cpis[i] = cpi
+		})
+		if err != nil {
+			wg.Done()
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			break
 		}
 	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return cpis, nil
+}
 
+// summarize folds per-cell CPIs into the SampledResult statistics.
+func summarize(cfg machine.Config, w *workload.Workload, spec SampleSpec, lib *ckptLibrary, cpis []float64) *SampledResult {
 	res := &SampledResult{
 		Machine:              cfg.Name,
 		Workload:             w.Name,
@@ -268,7 +287,7 @@ func (h *Harness) RunSampled(ctx context.Context, cfg machine.Config, w *workloa
 	res.CI95CPI = 1.96 * math.Sqrt(ss/(k-1)) / math.Sqrt(k)
 	res.MeanIPC = 1 / res.MeanCPI
 	res.CI95 = res.CI95CPI / (res.MeanCPI * res.MeanCPI)
-	return res, nil
+	return res
 }
 
 // runSampleCell runs (or fetches) one detailed cell and returns its

@@ -1,0 +1,161 @@
+package grid
+
+// Circuit breaker, extracted from internal/server (PR 5) so the coordinator
+// can run one per worker: when a worker's recent failure rate crosses a
+// threshold the breaker opens and the router stops routing cells to it
+// (each cell falls through to the next worker on its rendezvous preference
+// list). After a cooldown one probe cell is admitted (half-open); a clean
+// probe closes the circuit, a failed one re-opens it.
+//
+// Every method takes an explicit now, so the state machine is a pure
+// function of (outcome history, timestamps) — tests and the rbfault
+// campaign drive it deterministically without sleeping. Only callers read
+// the wall clock (with determinism-lint allow directives).
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states.
+const (
+	breakerClosed int32 = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func breakerStateName(s int32) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker tracks a sliding window of request outcomes and gates admission.
+type Breaker struct {
+	mu sync.Mutex
+
+	// Configuration (fixed after construction).
+	window     int           // outcomes remembered
+	threshold  float64       // failure fraction that trips the circuit
+	minSamples int           // outcomes required before the rate is meaningful
+	cooldown   time.Duration // open -> half-open delay
+
+	// Outcome ring: ring[i] is true for a failure. filled grows to window
+	// and stays there; failures counts true entries currently in the ring.
+	ring     []bool
+	idx      int
+	filled   int
+	failures int
+
+	state    int32
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+
+	trips int64 // closed -> open transitions (including failed probes)
+	shed  int64 // requests rejected while open
+}
+
+// NewBreaker builds a breaker remembering window outcomes, tripping when
+// the failure fraction reaches threshold (with at least minSamples
+// outcomes), and staying open for cooldown before admitting a probe.
+func NewBreaker(window int, threshold float64, minSamples int, cooldown time.Duration) *Breaker {
+	return &Breaker{
+		window:     window,
+		threshold:  threshold,
+		minSamples: minSamples,
+		cooldown:   cooldown,
+		ring:       make([]bool, window),
+	}
+}
+
+// Cooldown returns the open -> half-open delay (the Retry-After hint).
+func (b *Breaker) Cooldown() time.Duration { return b.cooldown }
+
+// Admit decides whether a request may proceed. probe is true when this
+// request is the single half-open trial whose outcome decides the circuit.
+func (b *Breaker) Admit(now time.Time) (allowed, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			b.shed++
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, true
+	default: // half-open
+		if b.probing {
+			b.shed++
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// Record feeds one finished request's outcome back. Probe outcomes resolve
+// the half-open state; ordinary outcomes feed the sliding window and may
+// trip the circuit.
+func (b *Breaker) Record(failed, probe bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if failed {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.trips++
+		} else {
+			b.state = breakerClosed
+			b.reset()
+		}
+		return
+	}
+	if b.state != breakerClosed {
+		// A request admitted before the trip finishing late; its outcome no
+		// longer bears on the (reset) window.
+		return
+	}
+	if b.ring[b.idx] {
+		b.failures--
+	}
+	b.ring[b.idx] = failed
+	if failed {
+		b.failures++
+	}
+	b.idx = (b.idx + 1) % b.window
+	if b.filled < b.window {
+		b.filled++
+	}
+	if b.filled >= b.minSamples &&
+		float64(b.failures) >= b.threshold*float64(b.filled)-1e-9 {
+		b.state = breakerOpen
+		b.openedAt = now
+		b.trips++
+		b.reset()
+	}
+}
+
+// reset clears the outcome window (caller holds mu).
+func (b *Breaker) reset() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.idx, b.filled, b.failures = 0, 0, 0
+}
+
+// Snapshot returns the current state name and counters for metrics.
+func (b *Breaker) Snapshot() (state string, trips, shed int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return breakerStateName(b.state), b.trips, b.shed
+}

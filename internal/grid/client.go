@@ -1,0 +1,170 @@
+package grid
+
+// RetryClient is the grid's HTTP client: one request with bounded retries
+// on transport errors and retryable statuses (5xx, 429). It is the PR-5
+// probe client's loop promoted to a reusable type, with one behavioral fix
+// (an ISSUE-9 satellite): a server-supplied Retry-After now *overrides* the
+// exponential backoff schedule instead of merely flooring it. The server's
+// admission control and circuit breaker know when capacity will return; a
+// client that insists on its own longer doubled delay wastes exactly the
+// time the hint was sent to save, and one that waits less hammers a shedding
+// server.
+//
+// Wall-clock use (the backoff timer) is service plumbing, never simulated
+// time, and carries determinism-lint allow directives; the delay *schedule*
+// itself is the pure function RetryDelay, which is what the tests pin.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// StatusError is a non-2xx response that survived all retries.
+type StatusError struct {
+	Status int
+	Body   []byte
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("grid: status %d: %s", e.Status, bytes.TrimSpace(e.Body))
+}
+
+// RetryClient issues HTTP requests with retries. The zero value works:
+// default client, DefaultRetries attempts, DefaultRetryBase backoff.
+type RetryClient struct {
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Retries is the number of extra attempts after a retryable failure;
+	// 0 means DefaultRetries. Negative disables retries.
+	Retries int
+	// Base is the first backoff delay, doubled per retry; 0 means
+	// DefaultRetryBase. A server Retry-After hint overrides the schedule.
+	Base time.Duration
+}
+
+// Defaults for the zero-valued RetryClient.
+const (
+	DefaultRetries   = 3
+	DefaultRetryBase = 100 * time.Millisecond
+)
+
+func (c *RetryClient) retries() int {
+	if c.Retries == 0 {
+		return DefaultRetries
+	}
+	if c.Retries < 0 {
+		return 0
+	}
+	return c.Retries
+}
+
+func (c *RetryClient) base() time.Duration {
+	if c.Base <= 0 {
+		return DefaultRetryBase
+	}
+	return c.Base
+}
+
+func (c *RetryClient) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// RetryDelay is the wait before retry number attempt (0-based): the
+// server's Retry-After hint verbatim when present, else base << attempt.
+func RetryDelay(attempt int, base, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		return retryAfter
+	}
+	return base << attempt
+}
+
+// ParseRetryAfter reads an integer-seconds Retry-After header value
+// (0 when absent or malformed; the HTTP-date form is not used by rbserve).
+func ParseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if sec, err := strconv.Atoi(v); err == nil && sec > 0 {
+		return time.Duration(sec) * time.Second
+	}
+	return 0
+}
+
+// Retryable reports whether a response status is worth retrying: server
+// errors and shed (429) requests are transient, everything else is final.
+func Retryable(status int) bool {
+	return status >= 500 || status == http.StatusTooManyRequests
+}
+
+// Get fetches url, retrying per the client's policy. It returns the final
+// body and status; err is non-nil only for transport failures (a non-2xx
+// final status is the caller's to interpret).
+func (c *RetryClient) Get(ctx context.Context, url string) ([]byte, int, error) {
+	return c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	})
+}
+
+// Post sends body to url with the given content type, retrying per the
+// client's policy (cell requests are idempotent: cells are deterministic
+// and cached, so a duplicate delivery recomputes nothing).
+func (c *RetryClient) Post(ctx context.Context, url, contentType string, body []byte) ([]byte, int, error) {
+	return c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", contentType)
+		return req, nil
+	})
+}
+
+func (c *RetryClient) do(ctx context.Context, build func() (*http.Request, error)) ([]byte, int, error) {
+	retries := c.retries()
+	var (
+		lastErr error
+		body    []byte
+		status  int
+	)
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, 0, err
+		}
+		var retryAfter time.Duration
+		body, status, retryAfter, lastErr = c.once(req)
+		retryable := lastErr != nil || Retryable(status)
+		if !retryable || attempt >= retries {
+			return body, status, lastErr
+		}
+		wait := RetryDelay(attempt, c.base(), retryAfter)
+		t := time.NewTimer(wait) //rblint:allow determinism
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, 0, ctx.Err()
+		}
+	}
+}
+
+func (c *RetryClient) once(req *http.Request) (body []byte, status int, retryAfter time.Duration, err error) {
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return body, resp.StatusCode, ParseRetryAfter(resp.Header.Get("Retry-After")), nil
+}

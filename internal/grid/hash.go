@@ -1,0 +1,44 @@
+package grid
+
+// Rendezvous (highest-random-weight) hashing: every (cell key, worker name)
+// pair hashes to a weight, and a cell's preference list is the workers in
+// descending weight order. Unlike a mod-N ring, removing a worker only
+// remaps the cells that preferred it (each falls to its second choice), and
+// the full ordered list doubles as the failover order — no separate state.
+
+import "sort"
+
+// fnv64a is the 64-bit FNV-1a hash (inlined to keep the routing function a
+// pure, dependency-free function of its string inputs).
+func fnv64a(parts ...string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime
+		}
+		h ^= 0x7c // separator: ("ab","c") must not collide with ("a","bc")
+		h *= prime
+	}
+	return h
+}
+
+// rendezvousRank returns worker indices in descending hash(key, worker)
+// order: index 0 is the cell's home worker, the rest its failover chain.
+// Ties (astronomically unlikely) break by index so the order is total.
+func rendezvousRank(key string, names []string) []int {
+	order := make([]int, len(names))
+	weights := make([]uint64, len(names))
+	for i, n := range names {
+		order[i] = i
+		weights[i] = fnv64a(key, n)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if weights[order[a]] != weights[order[b]] {
+			return weights[order[a]] > weights[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}

@@ -1,0 +1,92 @@
+package grid
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestFNVSeparator pins the property the 0x7c separator exists for: part
+// boundaries are part of the hash, so re-splitting the same bytes yields
+// different weights.
+func TestFNVSeparator(t *testing.T) {
+	if fnv64a("ab", "c") == fnv64a("a", "bc") {
+		t.Fatal(`fnv64a("ab","c") == fnv64a("a","bc"): separator not effective`)
+	}
+	if fnv64a("ab") == fnv64a("ab", "") {
+		t.Fatal("empty trailing part did not change the hash")
+	}
+	if fnv64a("x") != fnv64a("x") {
+		t.Fatal("hash is not deterministic")
+	}
+}
+
+// TestRendezvousRankIsPermutation checks every rank is a total order over
+// all workers, deterministically.
+func TestRendezvousRankIsPermutation(t *testing.T) {
+	names := []string{"w0", "w1", "w2", "w3", "w4"}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		rank := rendezvousRank(key, names)
+		if len(rank) != len(names) {
+			t.Fatalf("rank length %d, want %d", len(rank), len(names))
+		}
+		seen := make(map[int]bool)
+		for _, idx := range rank {
+			if idx < 0 || idx >= len(names) || seen[idx] {
+				t.Fatalf("rank %v is not a permutation", rank)
+			}
+			seen[idx] = true
+		}
+		if again := rendezvousRank(key, names); !reflect.DeepEqual(rank, again) {
+			t.Fatalf("rank not deterministic: %v vs %v", rank, again)
+		}
+	}
+}
+
+// TestRendezvousStability is the property that justifies rendezvous over
+// mod-N: removing one worker re-homes only the cells that preferred it.
+// Every other cell keeps its home worker.
+func TestRendezvousStability(t *testing.T) {
+	names := []string{"w0", "w1", "w2", "w3"}
+	without := []string{"w0", "w1", "w2"} // w3 removed
+	moved, kept := 0, 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		before := rendezvousRank(key, names)
+		after := rendezvousRank(key, without)
+		if names[before[0]] == "w3" {
+			moved++
+			// The re-homed cell must land on its previous second choice.
+			if names[before[1]] != without[after[0]] {
+				t.Fatalf("key %q: expected failover to %s, got %s",
+					key, names[before[1]], without[after[0]])
+			}
+			continue
+		}
+		kept++
+		if names[before[0]] != without[after[0]] {
+			t.Fatalf("key %q moved from %s to %s despite its home surviving",
+				key, names[before[0]], without[after[0]])
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestRendezvousBalance sanity-checks the spread: over many keys each of 4
+// workers should be home to a non-trivial share.
+func TestRendezvousBalance(t *testing.T) {
+	names := []string{"w0", "w1", "w2", "w3"}
+	counts := make([]int, len(names))
+	const n = 400
+	for i := 0; i < n; i++ {
+		counts[rendezvousRank(fmt.Sprintf("cell-%d", i), names)[0]]++
+	}
+	for i, c := range counts {
+		if c < n/len(names)/3 {
+			t.Fatalf("worker %s homes only %d/%d cells: %v", names[i], c, n, counts)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package grid
+
+// The Router is the coordinator's brain: a shared result-cache tier (the
+// same sharded cost-bounded LRU the workers run per-process, keyed by the
+// same cell keys, so a cell computed on any worker is never recomputed
+// anywhere), rendezvous routing with per-worker circuit breakers, and
+// failover down each cell's preference list. It implements
+// experiments.Runner, so every figure and table of the paper runs
+// distributed without touching the experiment code.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/rcache"
+	"repro/internal/workload"
+)
+
+// Options sizes a Router.
+type Options struct {
+	// Workers are the transports, one per worker; at least one is required.
+	Workers []Transport
+	// MaxInflight caps concurrently routed cells; 0 means 4 per worker
+	// (minimum 8). This is the coordinator's only execution bound: workers
+	// bound their own CPU with their pools and admission control.
+	MaxInflight int
+	// CacheCells bounds the shared result tier (unit cost per cell);
+	// 0 means 65536 cells.
+	CacheCells int64
+
+	// Breaker parameters (zero values take the server's defaults: a window
+	// of 32 outcomes, 0.5 threshold, 8 minimum samples, 5s cooldown).
+	BreakerWindow     int
+	BreakerThreshold  float64
+	BreakerMinSamples int
+	BreakerCooldown   time.Duration
+}
+
+// worker is one routing target with its health state.
+type worker struct {
+	transport Transport
+	brk       *Breaker
+	inflight  atomic.Int64 // cells currently on this worker
+	routed    atomic.Int64 // cells ever routed here (including failures)
+	failed    atomic.Int64 // cells that failed here (caused failover)
+}
+
+// Router routes cells across workers. Create with NewRouter.
+type Router struct {
+	workers []*worker
+	names   []string
+	cache   *rcache.Cache // shared result tier, unit cost per cell
+	sem     chan struct{}
+}
+
+// NewRouter builds a router over the given workers.
+func NewRouter(opts Options) (*Router, error) {
+	if len(opts.Workers) == 0 {
+		return nil, fmt.Errorf("grid: router needs at least one worker")
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 4 * len(opts.Workers)
+		if opts.MaxInflight < 8 {
+			opts.MaxInflight = 8
+		}
+	}
+	if opts.CacheCells <= 0 {
+		opts.CacheCells = 1 << 16
+	}
+	if opts.BreakerWindow <= 0 {
+		opts.BreakerWindow = 32
+	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 0.5
+	}
+	if opts.BreakerMinSamples <= 0 {
+		opts.BreakerMinSamples = 8
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 5 * time.Second
+	}
+	r := &Router{
+		cache: rcache.New(16, opts.CacheCells),
+		sem:   make(chan struct{}, opts.MaxInflight),
+	}
+	seen := make(map[string]bool, len(opts.Workers))
+	for _, t := range opts.Workers {
+		name := t.Name()
+		if seen[name] {
+			return nil, fmt.Errorf("grid: duplicate worker name %q", name)
+		}
+		seen[name] = true
+		r.workers = append(r.workers, &worker{
+			transport: t,
+			brk: NewBreaker(opts.BreakerWindow, opts.BreakerThreshold,
+				opts.BreakerMinSamples, opts.BreakerCooldown),
+		})
+		r.names = append(r.names, name)
+	}
+	return r, nil
+}
+
+// Do computes one cell through the shared tier: a cache hit (or a join on a
+// concurrent miss) returns without touching any worker; a miss routes the
+// cell down its rendezvous preference list. Errors are never cached, so a
+// cell that failed during an outage recomputes cleanly later.
+func (r *Router) Do(ctx context.Context, req *CellRequest) (*CellResult, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	key := req.Key()
+	v, _, err := r.cache.Do(ctx, key, func() (any, int64, error) {
+		select {
+		case r.sem <- struct{}{}:
+			defer func() { <-r.sem }()
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
+		res, err := r.route(ctx, req)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, 1, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*CellResult), nil
+}
+
+// route tries the cell's workers in rendezvous order, skipping open
+// breakers and failing over past workers that error. Worker outcomes feed
+// the breakers; a context cancellation is the client's doing and is not
+// held against the worker (recording it as a success resolves any in-flight
+// probe so the breaker cannot wedge half-open).
+func (r *Router) route(ctx context.Context, req *CellRequest) (*CellResult, error) {
+	var lastErr error
+	for _, idx := range rendezvousRank(req.Key(), r.names) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		w := r.workers[idx]
+		allowed, probe := w.brk.Admit(time.Now()) //rblint:allow determinism
+		if !allowed {
+			continue
+		}
+		w.routed.Add(1)
+		w.inflight.Add(1)
+		res, err := w.transport.RunCell(ctx, req)
+		w.inflight.Add(-1)
+		now := time.Now() //rblint:allow determinism
+		switch {
+		case err == nil:
+			w.brk.Record(false, probe, now)
+			return res, nil
+		case errors.Is(err, ErrBadCell):
+			// The worker answered; the request is at fault. No failover.
+			w.brk.Record(false, probe, now)
+			return nil, err
+		case ctx.Err() != nil:
+			w.brk.Record(false, probe, now)
+			return nil, ctx.Err()
+		default:
+			w.failed.Add(1)
+			w.brk.Record(true, probe, now)
+			lastErr = err
+		}
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w: every worker failed, last: %v", ErrNoWorkers, lastErr)
+	}
+	return nil, fmt.Errorf("%w: every breaker is open", ErrNoWorkers)
+}
+
+// RunCell implements experiments.Runner: one full-run cell through the
+// grid.
+func (r *Router) RunCell(ctx context.Context, cfg machine.Config, w *workload.Workload) (*core.Result, error) {
+	res, err := r.Do(ctx, &CellRequest{Config: cfg, Workload: w.Name})
+	if err != nil {
+		return nil, err
+	}
+	if res.Result == nil {
+		return nil, fmt.Errorf("grid: cell %s returned no full result", res.Key)
+	}
+	return res.Result, nil
+}
+
+// RunMatrix implements experiments.Runner: the full (config, workload)
+// product fans out concurrently; the router's in-flight semaphore is the
+// only bound the coordinator needs (workers bound their own CPU).
+func (r *Router) RunMatrix(ctx context.Context, cfgs []machine.Config, wls []*workload.Workload) (map[string]map[string]*core.Result, error) {
+	out := make(map[string]map[string]*core.Result, len(cfgs))
+	for _, c := range cfgs {
+		out[c.Name] = make(map[string]*core.Result, len(wls))
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for _, c := range cfgs {
+		for _, w := range wls {
+			c, w := c, w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := r.RunCell(ctx, c, w)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				out[c.Name][w.Name] = res
+			}()
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// WorkerSnapshot is one worker's health for /metrics.
+type WorkerSnapshot struct {
+	Name     string `json:"name"`
+	Breaker  string `json:"breaker"` // closed, open, or half-open
+	Trips    int64  `json:"trips"`
+	Shed     int64  `json:"shed"`
+	Inflight int64  `json:"inflight"`
+	Routed   int64  `json:"routed"`
+	Failed   int64  `json:"failed"`
+}
+
+// Snapshot returns per-worker health and the shared-tier cache counters.
+func (r *Router) Snapshot() ([]WorkerSnapshot, rcache.Stats) {
+	out := make([]WorkerSnapshot, len(r.workers))
+	for i, w := range r.workers {
+		state, trips, shed := w.brk.Snapshot()
+		out[i] = WorkerSnapshot{
+			Name:     r.names[i],
+			Breaker:  state,
+			Trips:    trips,
+			Shed:     shed,
+			Inflight: w.inflight.Load(),
+			Routed:   w.routed.Load(),
+			Failed:   w.failed.Load(),
+		}
+	}
+	return out, r.cache.Stats()
+}
+
+// TeeRunner wraps a Runner and reports each distinct cell result once as it
+// lands — the /v1/batch streaming hook. OnCell may be called from many
+// goroutines; the tee serializes the calls.
+type TeeRunner struct {
+	R      experiments.Runner
+	OnCell func(cfg machine.Config, wl string, res *core.Result)
+
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+// RunCell implements experiments.Runner.
+func (t *TeeRunner) RunCell(ctx context.Context, cfg machine.Config, w *workload.Workload) (*core.Result, error) {
+	res, err := t.R.RunCell(ctx, cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	if t.seen == nil {
+		t.seen = make(map[string]bool)
+	}
+	key := cfg.Name + "|" + w.Name
+	first := !t.seen[key]
+	t.seen[key] = true
+	if first && t.OnCell != nil {
+		t.OnCell(cfg, w.Name, res)
+	}
+	t.mu.Unlock()
+	return res, nil
+}
+
+// RunMatrix implements experiments.Runner by fanning the product through
+// RunCell so every cell is observed; concurrency is bounded by the
+// underlying runner (the router's semaphore or the harness's pool).
+func (t *TeeRunner) RunMatrix(ctx context.Context, cfgs []machine.Config, wls []*workload.Workload) (map[string]map[string]*core.Result, error) {
+	out := make(map[string]map[string]*core.Result, len(cfgs))
+	for _, c := range cfgs {
+		out[c.Name] = make(map[string]*core.Result, len(wls))
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for _, c := range cfgs {
+		for _, w := range wls {
+			c, w := c, w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := t.RunCell(ctx, c, w)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				out[c.Name][w.Name] = res
+			}()
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,248 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// fakeTransport is a scriptable worker.
+type fakeTransport struct {
+	name  string
+	calls atomic.Int64
+	fn    func(ctx context.Context, req *CellRequest) (*CellResult, error)
+}
+
+func (f *fakeTransport) Name() string { return f.name }
+
+func (f *fakeTransport) RunCell(ctx context.Context, req *CellRequest) (*CellResult, error) {
+	f.calls.Add(1)
+	return f.fn(ctx, req)
+}
+
+func okCell(req *CellRequest) (*CellResult, error) {
+	return &CellResult{Key: req.Key()}, nil
+}
+
+func testCell(wl string) *CellRequest {
+	return &CellRequest{Config: machine.NewBaseline(4), Workload: wl}
+}
+
+func newTestRouter(t *testing.T, workers ...Transport) *Router {
+	t.Helper()
+	r, err := NewRouter(Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRouterRejectsBadOptions(t *testing.T) {
+	if _, err := NewRouter(Options{}); err == nil {
+		t.Fatal("router accepted zero workers")
+	}
+	dup := func(ctx context.Context, req *CellRequest) (*CellResult, error) { return okCell(req) }
+	_, err := NewRouter(Options{Workers: []Transport{
+		&fakeTransport{name: "w", fn: dup},
+		&fakeTransport{name: "w", fn: dup},
+	}})
+	if err == nil {
+		t.Fatal("router accepted duplicate worker names")
+	}
+}
+
+func TestRouterValidatesBeforeRouting(t *testing.T) {
+	w := &fakeTransport{name: "w0", fn: func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		return okCell(req)
+	}}
+	r := newTestRouter(t, w)
+	_, err := r.Do(context.Background(), &CellRequest{Config: machine.NewBaseline(4), Workload: "nope"})
+	if !errors.Is(err, ErrBadCell) {
+		t.Fatalf("err = %v, want ErrBadCell", err)
+	}
+	if w.calls.Load() != 0 {
+		t.Fatal("invalid request reached a worker")
+	}
+}
+
+// TestRouterFailover: the cell's home worker errors, the next in rendezvous
+// order serves it, and the failure is charged to the right worker.
+func TestRouterFailover(t *testing.T) {
+	down := &fakeTransport{name: "down", fn: func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		return nil, fmt.Errorf("connection refused")
+	}}
+	up := &fakeTransport{name: "up", fn: func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		return okCell(req)
+	}}
+	r := newTestRouter(t, down, up)
+	// Use enough distinct cells that at least one homes on the down worker.
+	wls := []string{"compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"}
+	for _, wl := range wls {
+		res, err := r.Do(context.Background(), testCell(wl))
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		if res.Key != testCell(wl).Key() {
+			t.Fatalf("%s: wrong cell came back: %q", wl, res.Key)
+		}
+	}
+	if down.calls.Load() == 0 {
+		t.Skip("no cell homed on the down worker (rendezvous placement)")
+	}
+	snaps, _ := r.Snapshot()
+	for _, s := range snaps {
+		if s.Name == "down" && s.Failed == 0 {
+			t.Fatalf("down worker has no failures recorded: %+v", s)
+		}
+		if s.Name == "up" && s.Failed != 0 {
+			t.Fatalf("healthy worker charged with failures: %+v", s)
+		}
+	}
+}
+
+// TestRouterBadCellNoFailover: a worker-reported ErrBadCell is the
+// request's fault; the router must not try another worker.
+func TestRouterBadCellNoFailover(t *testing.T) {
+	reject := func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		return nil, fmt.Errorf("%w: worker says no", ErrBadCell)
+	}
+	a := &fakeTransport{name: "a", fn: reject}
+	b := &fakeTransport{name: "b", fn: reject}
+	r := newTestRouter(t, a, b)
+	_, err := r.Do(context.Background(), testCell("compress"))
+	if !errors.Is(err, ErrBadCell) {
+		t.Fatalf("err = %v, want ErrBadCell", err)
+	}
+	if total := a.calls.Load() + b.calls.Load(); total != 1 {
+		t.Fatalf("bad cell touched %d workers, want exactly 1 (no failover)", total)
+	}
+}
+
+func TestRouterAllWorkersDown(t *testing.T) {
+	boom := func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		return nil, fmt.Errorf("boom")
+	}
+	r := newTestRouter(t,
+		&fakeTransport{name: "a", fn: boom},
+		&fakeTransport{name: "b", fn: boom})
+	_, err := r.Do(context.Background(), testCell("compress"))
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+// TestRouterBreakerSheds: after enough failures a worker's breaker opens
+// and the router stops calling its transport entirely.
+func TestRouterBreakerSheds(t *testing.T) {
+	boom := &fakeTransport{name: "only", fn: func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		return nil, fmt.Errorf("boom")
+	}}
+	r, err := NewRouter(Options{
+		Workers:           []Transport{boom},
+		BreakerWindow:     8,
+		BreakerThreshold:  0.5,
+		BreakerMinSamples: 4,
+		BreakerCooldown:   time.Hour, // never half-opens during the test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct cells: errors are never cached, but each Do must route fresh.
+	wls := []string{"compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"}
+	for _, wl := range wls {
+		if _, err := r.Do(context.Background(), testCell(wl)); !errors.Is(err, ErrNoWorkers) {
+			t.Fatalf("%s: err = %v, want ErrNoWorkers", wl, err)
+		}
+	}
+	callsWhenOpen := boom.calls.Load()
+	if callsWhenOpen >= int64(len(wls)) {
+		t.Fatalf("breaker never opened: %d calls for %d cells", callsWhenOpen, len(wls))
+	}
+	if _, err := r.Do(context.Background(), testCell("vortex00")); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+	if boom.calls.Load() != callsWhenOpen {
+		t.Fatal("open breaker still let a call through")
+	}
+	snaps, _ := r.Snapshot()
+	if snaps[0].Breaker != "open" || snaps[0].Trips == 0 || snaps[0].Shed == 0 {
+		t.Fatalf("breaker snapshot inconsistent: %+v", snaps[0])
+	}
+}
+
+// TestRouterSharedTier: a repeat cell is served from the coordinator cache
+// with zero transport calls; concurrent identical cells coalesce.
+func TestRouterSharedTier(t *testing.T) {
+	w := &fakeTransport{name: "w0", fn: func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		return okCell(req)
+	}}
+	r := newTestRouter(t, w)
+	ctx := context.Background()
+	if _, err := r.Do(ctx, testCell("compress")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Do(ctx, testCell("compress")); err != nil {
+		t.Fatal(err)
+	}
+	if w.calls.Load() != 1 {
+		t.Fatalf("repeat cell reached the worker: %d calls, want 1", w.calls.Load())
+	}
+	_, stats := r.Snapshot()
+	if stats.Hits+stats.Joins < 1 || stats.Misses != 1 {
+		t.Fatalf("shared tier stats inconsistent: %+v", stats)
+	}
+}
+
+// TestRouterErrorsNotCached: a failed cell recomputes cleanly once the
+// worker recovers.
+func TestRouterErrorsNotCached(t *testing.T) {
+	var healthy atomic.Bool
+	w := &fakeTransport{name: "w0", fn: func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		if !healthy.Load() {
+			return nil, fmt.Errorf("still booting")
+		}
+		return okCell(req)
+	}}
+	r := newTestRouter(t, w)
+	ctx := context.Background()
+	if _, err := r.Do(ctx, testCell("compress")); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+	healthy.Store(true)
+	if _, err := r.Do(ctx, testCell("compress")); err != nil {
+		t.Fatalf("recovered worker still failing: %v", err)
+	}
+	if w.calls.Load() != 2 {
+		t.Fatalf("worker saw %d calls, want 2 (error not cached, success computed once)", w.calls.Load())
+	}
+}
+
+// TestRouterContextCancelNotChargedToWorker: a client-side cancellation
+// must not trip the worker's breaker.
+func TestRouterContextCancelNotChargedToWorker(t *testing.T) {
+	w := &fakeTransport{name: "w0", fn: func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}}
+	r := newTestRouter(t, w)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Do(ctx, testCell("compress"))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) //rblint:allow determinism
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	snaps, _ := r.Snapshot()
+	if snaps[0].Failed != 0 || snaps[0].Breaker != "closed" {
+		t.Fatalf("cancellation charged to the worker: %+v", snaps[0])
+	}
+}

@@ -53,8 +53,10 @@ var determinismScope = map[string]bool{
 	"experiments": true, "stats": true, "check": true, "fault": true,
 	// The serving layer sits on top of the simulator and must not smuggle
 	// nondeterminism into it: wall-clock reads are legal only for service
-	// metrics (request latency, uptime) and carry allow directives.
-	"server": true, "pool": true, "rcache": true,
+	// metrics (request latency, uptime) and carry allow directives. The grid
+	// (cell routing, worker breakers, retry backoff) is held to the same
+	// standard: cells stay deterministic, only the plumbing may read clocks.
+	"server": true, "pool": true, "rcache": true, "grid": true,
 }
 
 // wallClockFuncs are the time package functions that read or depend on the

@@ -7,162 +7,46 @@ package server
 // struggling backend. After a cooldown it admits a single probe (half-open);
 // a clean probe closes the circuit, a failed one re-opens it.
 //
-// Wall-clock reads here time the service, not the simulator, and are
-// allowlisted (see internal/lint determinism rule). The breaker's decision
-// logic itself is a pure function of (outcome history, now), which is what
-// lets the rbfault campaign drive it deterministically: chaos failures
-// arrive by request ordinal and the campaign uses a cooldown far longer
-// than the run, so the observed trip/shed counts depend only on the request
-// sequence.
+// The state machine itself lives in internal/grid (grid.Breaker), where the
+// coordinator reuses it per worker; this file keeps the server's thin
+// status-code-aware view of it. Wall-clock reads here time the service, not
+// the simulator, and are allowlisted (see internal/lint determinism rule);
+// the breaker's decision logic is a pure function of (outcome history, now),
+// which is what lets the rbfault campaign drive it deterministically.
 
 import (
 	"math"
 	"net/http"
 	"strconv"
-	"sync"
 	"time"
+
+	"repro/internal/grid"
 )
 
-// Breaker states.
-const (
-	breakerClosed int32 = iota
-	breakerOpen
-	breakerHalfOpen
-)
-
-func breakerStateName(s int32) string {
-	switch s {
-	case breakerOpen:
-		return "open"
-	case breakerHalfOpen:
-		return "half-open"
-	default:
-		return "closed"
-	}
-}
-
-// breaker tracks a sliding window of request outcomes and gates admission.
-// All methods take an explicit now so tests can drive the cooldown without
-// sleeping.
+// breaker adapts grid.Breaker to the server's HTTP-status outcomes.
 type breaker struct {
-	mu sync.Mutex
-
-	// Configuration (fixed after construction).
-	window     int           // outcomes remembered
-	threshold  float64       // failure fraction that trips the circuit
-	minSamples int           // outcomes required before the rate is meaningful
-	cooldown   time.Duration // open -> half-open delay
-
-	// Outcome ring: ring[i] is true for a failure (5xx). filled grows to
-	// window and stays there; failures counts true entries currently in the
-	// ring.
-	ring     []bool
-	idx      int
-	filled   int
-	failures int
-
-	state    int32
-	openedAt time.Time
-	probing  bool // a half-open probe is in flight
-
-	trips int64 // closed -> open transitions (including failed probes)
-	shed  int64 // requests rejected while open
+	*grid.Breaker
+	cooldown time.Duration
 }
 
 func newBreaker(window int, threshold float64, minSamples int, cooldown time.Duration) *breaker {
 	return &breaker{
-		window:     window,
-		threshold:  threshold,
-		minSamples: minSamples,
-		cooldown:   cooldown,
-		ring:       make([]bool, window),
+		Breaker:  grid.NewBreaker(window, threshold, minSamples, cooldown),
+		cooldown: cooldown,
 	}
 }
 
 // admit decides whether a request may proceed. probe is true when this
 // request is the single half-open trial whose outcome decides the circuit.
-func (b *breaker) admit(now time.Time) (allowed, probe bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	switch b.state {
-	case breakerClosed:
-		return true, false
-	case breakerOpen:
-		if now.Sub(b.openedAt) < b.cooldown {
-			b.shed++
-			return false, false
-		}
-		b.state = breakerHalfOpen
-		b.probing = true
-		return true, true
-	default: // half-open
-		if b.probing {
-			b.shed++
-			return false, false
-		}
-		b.probing = true
-		return true, true
-	}
-}
+func (b *breaker) admit(now time.Time) (allowed, probe bool) { return b.Admit(now) }
 
-// record feeds one finished request's status back. Probe outcomes resolve
-// the half-open state; ordinary outcomes feed the sliding window and may
-// trip the circuit.
+// record feeds one finished request's status back; 5xx counts as failure.
 func (b *breaker) record(status int, probe bool, now time.Time) {
-	failed := status >= 500
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if probe {
-		b.probing = false
-		if failed {
-			b.state = breakerOpen
-			b.openedAt = now
-			b.trips++
-		} else {
-			b.state = breakerClosed
-			b.reset()
-		}
-		return
-	}
-	if b.state != breakerClosed {
-		// A request admitted before the trip finishing late; its outcome no
-		// longer bears on the (reset) window.
-		return
-	}
-	if b.ring[b.idx] {
-		b.failures--
-	}
-	b.ring[b.idx] = failed
-	if failed {
-		b.failures++
-	}
-	b.idx = (b.idx + 1) % b.window
-	if b.filled < b.window {
-		b.filled++
-	}
-	if b.filled >= b.minSamples &&
-		float64(b.failures) >= b.threshold*float64(b.filled)-1e-9 {
-		b.state = breakerOpen
-		b.openedAt = now
-		b.trips++
-		b.reset()
-	}
-}
-
-// reset clears the outcome window (caller holds mu).
-func (b *breaker) reset() {
-	for i := range b.ring {
-		b.ring[i] = false
-	}
-	b.idx, b.filled, b.failures = 0, 0, 0
+	b.Record(status >= 500, probe, now)
 }
 
 // snapshot returns the current state name and counters for /metrics.
-func (b *breaker) snapshot() (state string, trips, shed int64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return breakerStateName(b.state), b.trips, b.shed
-}
+func (b *breaker) snapshot() (state string, trips, shed int64) { return b.Snapshot() }
 
 // breaking is the circuit-breaker middleware. It sits outside the chaos
 // and admission layers so that chaos-injected failures trip it exactly as

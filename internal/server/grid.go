@@ -1,0 +1,463 @@
+package server
+
+// Grid endpoints (DESIGN.md §16). /v1/cell is the worker side: one cell
+// request in, one cell result out — the unit the coordinator distributes.
+// /v1/batch is the coordinator side: a sweep spec (explicit axes or a named
+// artifact) fans out across the router and the per-cell results stream back
+// as they land (SSE or NDJSON), or aggregate into one response (json/text).
+// Both endpoints sit behind the same observed/breaking/chaotic/limited
+// middleware chain as every other /v1 route.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// maxCellBody bounds /v1/cell and /v1/batch request bodies.
+const maxCellBody = 1 << 20
+
+// handleCell runs one grid cell on this worker:
+//
+//	POST /v1/cell        {"config": {...}, "workload": "mcf"}
+//
+// The coordinator is the only intended caller, but the endpoint is plain
+// JSON-over-HTTP: a full machine.Config in, a CellResult out. Full cells
+// run through the shared worker pool; sampled cells drive the harness's
+// sampler, which fans its windows over the same pool itself.
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCellBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad cell body: "+err.Error())
+		return
+	}
+	var req grid.CellRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad cell request: "+err.Error())
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	wl, _ := workload.ByName(req.Workload) // Validate checked existence
+	out := grid.CellResult{Key: req.Key()}
+	if req.Sampled != nil {
+		res, err := s.harness.RunSampled(r.Context(), req.Config, wl, *req.Sampled)
+		if err != nil {
+			s.failRequest(w, r, err)
+			return
+		}
+		out.Sampled = res
+	} else {
+		var (
+			res  *core.Result
+			rerr error
+		)
+		if err := s.runInPool(r.Context(), func() {
+			res, rerr = s.harness.RunCell(r.Context(), req.Config, wl)
+		}); err != nil {
+			s.failRequest(w, r, err)
+			return
+		}
+		if rerr != nil {
+			s.failRequest(w, r, rerr)
+			return
+		}
+		out.Result = res
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// batchFormats are the /v1/batch response formats: aggregate (json, text)
+// and streaming (sse, ndjson).
+func validBatchFormat(f string) bool {
+	switch f {
+	case "json", "text", "sse", "ndjson":
+		return true
+	}
+	return false
+}
+
+// BatchCellEvent is one streamed (or aggregated) cell of a batch.
+type BatchCellEvent struct {
+	Key     string                     `json:"key"`
+	IPC     float64                    `json:"ipc"`
+	Result  *core.Result               `json:"result,omitempty"`
+	Sampled *experiments.SampledResult `json:"sampled,omitempty"`
+}
+
+func cellEvent(res *grid.CellResult) BatchCellEvent {
+	return BatchCellEvent{Key: res.Key, IPC: res.IPC(), Result: res.Result, Sampled: res.Sampled}
+}
+
+// BatchDone is the final event of a streamed batch (and the partial-failure
+// summary of an aggregate one).
+type BatchDone struct {
+	Cells   int    `json:"cells"` // cells delivered
+	Total   int    `json:"total"` // cells requested
+	Partial bool   `json:"partial,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// batchStream serializes streamed events onto the response, flushing after
+// each so clients observe cells incrementally.
+type batchStream struct {
+	mu  sync.Mutex
+	w   http.ResponseWriter
+	sse bool
+}
+
+func newBatchStream(w http.ResponseWriter, format string) *batchStream {
+	sse := format == "sse"
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	return &batchStream{w: w, sse: sse}
+}
+
+// event emits one named event. Write errors (a vanished client) are
+// ignored: the request context's cancellation is what stops the work.
+func (b *batchStream) event(name string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.sse {
+		fmt.Fprintf(b.w, "event: %s\ndata: %s\n\n", name, data)
+	} else {
+		fmt.Fprintf(b.w, `{"event":%q,"data":%s}`+"\n", name, data)
+	}
+	if f, ok := b.w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handleBatch fans a sweep out across the grid:
+//
+//	GET  /v1/batch?machines=baseline,rb-full&widths=4,8&suite=SPECint95&format=sse
+//	GET  /v1/batch?artifact=fig9&format=text       # byte-identical to rbexp
+//	POST /v1/batch  {"machines": ["rb-full"], "widths": [8], "sampled": {...}}
+//
+// Axes mode expands machines x widths x windows x no-bypass-levels x
+// workloads into cells; artifact mode runs a named paper artifact through
+// the grid, streaming its cells as they complete. format=sse|ndjson stream
+// per-cell results; json|text aggregate.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	format := q.Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if !validBatchFormat(format) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown format %q (want json, text, sse, or ndjson)", format))
+		return
+	}
+	var spec *grid.BatchSpec
+	if r.Method == http.MethodPost {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCellBody))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad batch body: "+err.Error())
+			return
+		}
+		if len(bytes.TrimSpace(body)) > 0 {
+			spec = &grid.BatchSpec{}
+			if err := json.Unmarshal(body, spec); err != nil {
+				writeError(w, http.StatusBadRequest, "bad batch spec: "+err.Error())
+				return
+			}
+		}
+	}
+	if name := q.Get("artifact"); name != "" {
+		if spec != nil || q.Get("machines") != "" || q.Get("no-bypass-levels") != "" {
+			writeError(w, http.StatusBadRequest, "artifact and sweep axes are mutually exclusive")
+			return
+		}
+		width, suite, ok := s.artifactParams(w, q, name)
+		if !ok {
+			return
+		}
+		s.serveArtifactBatch(w, r, name, width, suite, format)
+		return
+	}
+	if spec == nil {
+		var err error
+		if spec, err = batchSpecFromQuery(q); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		s.failRequest(w, r, err) // ErrBadSpec -> 400
+		return
+	}
+	s.serveCellBatch(w, r, cells, format)
+}
+
+// artifactParams validates an artifact name (404 on unknown) and its
+// width/suite parameters, mirroring /v1/experiment.
+func (s *Server) artifactParams(w http.ResponseWriter, q map[string][]string, name string) (width int, suite string, ok bool) {
+	known := false
+	for _, n := range artifactNames {
+		if n == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("unknown artifact %q (have %s)", name, strings.Join(artifactNames, ", ")))
+		return 0, "", false
+	}
+	width, suite = 8, "SPECint2000"
+	if name == "ipc" {
+		var err error
+		if width, err = intParam(first(q, "width"), 8); err != nil {
+			writeError(w, http.StatusBadRequest, "bad width: "+err.Error())
+			return 0, "", false
+		}
+		switch width {
+		case 2, 4, 8, 16:
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("unsupported width %d (want 2, 4, 8, or 16)", width))
+			return 0, "", false
+		}
+		if suite = first(q, "suite"); suite == "" {
+			suite = "SPECint2000"
+		}
+		switch suite {
+		case "SPECint95", "SPECint2000", "all":
+		default:
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("unknown suite %q (want SPECint95, SPECint2000, or all)", suite))
+			return 0, "", false
+		}
+	}
+	return width, suite, true
+}
+
+func first(q map[string][]string, key string) string {
+	if vs := q[key]; len(vs) > 0 {
+		return vs[0]
+	}
+	return ""
+}
+
+// batchSpecFromQuery reads the sweep axes from query parameters.
+func batchSpecFromQuery(q map[string][]string) (*grid.BatchSpec, error) {
+	spec := &grid.BatchSpec{Suite: first(q, "suite")}
+	if v := first(q, "machines"); v != "" {
+		spec.Machines = strings.Split(v, ",")
+	}
+	if v := first(q, "workloads"); v != "" {
+		spec.Workloads = strings.Split(v, ",")
+	}
+	// no-bypass-levels entries are comma lists themselves ("1,2"), so
+	// variants separate with ";" here: no-bypass-levels=2;1,2
+	if v := first(q, "no-bypass-levels"); v != "" {
+		spec.NoBypassLevels = strings.Split(v, ";")
+	}
+	var err error
+	if spec.Widths, err = intsParam(first(q, "widths")); err != nil {
+		return nil, fmt.Errorf("bad widths: %w", err)
+	}
+	if spec.Windows, err = intsParam(first(q, "windows")); err != nil {
+		return nil, fmt.Errorf("bad windows: %w", err)
+	}
+	if v := first(q, "samples"); v != "" {
+		samples, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("bad samples: %w", err)
+		}
+		warmup, err := intParam(first(q, "warmup"), 2000)
+		if err != nil {
+			return nil, fmt.Errorf("bad warmup: %w", err)
+		}
+		measure, err := intParam(first(q, "measure"), 2000)
+		if err != nil {
+			return nil, fmt.Errorf("bad measure: %w", err)
+		}
+		ffWarm, err := intParam(first(q, "ff-warm"), 0)
+		if err != nil {
+			return nil, fmt.Errorf("bad ff-warm: %w", err)
+		}
+		spec.Sampled = &experiments.SampleSpec{
+			Samples: samples, Warmup: warmup, Measure: measure, FFWarm: int64(ffWarm),
+		}
+	}
+	return spec, nil
+}
+
+// intsParam parses a comma-separated integer list ("" -> nil).
+func intsParam(v string) ([]int, error) {
+	if v == "" {
+		return nil, nil
+	}
+	parts := strings.Split(v, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// serveCellBatch routes every cell concurrently (the router's in-flight
+// semaphore is the bound) and delivers results per the format. A client
+// disconnect cancels the request context, which cancels every outstanding
+// worker call.
+func (s *Server) serveCellBatch(w http.ResponseWriter, r *http.Request, cells []grid.CellRequest, format string) {
+	ctx := r.Context()
+	var stream *batchStream
+	if format == "sse" || format == "ndjson" {
+		stream = newBatchStream(w, format)
+	}
+	results := make([]*grid.CellResult, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	for i := range cells {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := s.router.Do(ctx, &cells[i])
+			results[i], errs[i] = res, err
+			if stream == nil {
+				return
+			}
+			if err != nil {
+				stream.event("error", map[string]string{"key": cells[i].Key(), "error": err.Error()})
+			} else {
+				stream.event("cell", cellEvent(res))
+			}
+		}()
+	}
+	wg.Wait()
+
+	done := make([]BatchCellEvent, 0, len(cells))
+	var firstErr error
+	for i, res := range results {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		done = append(done, cellEvent(res))
+	}
+	sort.Slice(done, func(a, b int) bool { return done[a].Key < done[b].Key })
+
+	if stream != nil {
+		d := BatchDone{Cells: len(done), Total: len(cells), Partial: firstErr != nil}
+		if firstErr != nil {
+			d.Error = firstErr.Error()
+		}
+		stream.event("done", d)
+		return
+	}
+	if firstErr != nil {
+		if errors.Is(firstErr, grid.ErrNoWorkers) {
+			// Grid degraded mid-sweep: flag what completed as partial.
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error":   firstErr.Error(),
+				"partial": true,
+				"cells":   done,
+				"total":   len(cells),
+			})
+			return
+		}
+		s.failRequest(w, r, firstErr)
+		return
+	}
+	switch format {
+	case "text":
+		var b bytes.Buffer
+		fmt.Fprintf(&b, "batch: %d cells\n", len(done))
+		for i := range done {
+			fmt.Fprintf(&b, "%-48s %8.4f\n", done[i].Key, done[i].IPC)
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(b.Bytes())
+	default: // json
+		writeJSON(w, http.StatusOK, map[string]any{"count": len(done), "cells": done})
+	}
+}
+
+// serveArtifactBatch runs one named paper artifact through the grid. The
+// figure code is untouched: a TeeRunner around the router reports each
+// distinct cell as it lands, and the aggregate artifact renders exactly as
+// /v1/experiment (format=text stays byte-identical to rbexp).
+func (s *Server) serveArtifactBatch(w http.ResponseWriter, r *http.Request, name string, width int, suite string, format string) {
+	ctx := r.Context()
+	if format == "json" || format == "text" {
+		res, err := s.runArtifact(ctx, s.router, name, width, suite)
+		if err != nil {
+			s.failRequest(w, r, err)
+			return
+		}
+		if format == "text" {
+			var b bytes.Buffer
+			if err := res.Render(&b); err != nil {
+				s.failRequest(w, r, err)
+				return
+			}
+			b.WriteByte('\n') // rbexp per-artifact println parity
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write(b.Bytes())
+			return
+		}
+		body, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			s.failRequest(w, r, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(body, '\n'))
+		return
+	}
+	stream := newBatchStream(w, format)
+	var cellsOut int
+	var mu sync.Mutex
+	tee := &grid.TeeRunner{R: s.router, OnCell: func(cfg machine.Config, wl string, res *core.Result) {
+		key := (&grid.CellRequest{Config: cfg, Workload: wl}).Key()
+		mu.Lock()
+		cellsOut++
+		mu.Unlock()
+		stream.event("cell", BatchCellEvent{Key: key, IPC: res.IPC(), Result: res})
+	}}
+	res, err := s.runArtifact(ctx, tee, name, width, suite)
+	mu.Lock()
+	n := cellsOut
+	mu.Unlock()
+	if err != nil {
+		stream.event("error", map[string]string{"error": err.Error()})
+		stream.event("done", BatchDone{Cells: n, Partial: true, Error: err.Error()})
+		return
+	}
+	stream.event("result", res)
+	stream.event("done", BatchDone{Cells: n, Total: n})
+}

@@ -43,29 +43,32 @@ var artifactNames = []string{
 	"ipc", "sweeps", "summary", "table1", "table2", "table3",
 }
 
-// runArtifact executes one named experiment through the shared harness.
-func (s *Server) runArtifact(ctx context.Context, name string, width int, suite string) (artifactResult, error) {
+// runArtifact executes one named experiment through run: the shared
+// harness, the grid router in coordinator mode, or a TeeRunner wrapping
+// either when /v1/batch streams cells (the figures are Runner-generic, so
+// distribution never touches them).
+func (s *Server) runArtifact(ctx context.Context, run experiments.Runner, name string, width int, suite string) (artifactResult, error) {
 	switch name {
 	case "fig1":
-		return experiments.Figure1(ctx, s.harness)
+		return experiments.Figure1(ctx, run)
 	case "fig9":
-		return experiments.Figure9(ctx, s.harness)
+		return experiments.Figure9(ctx, run)
 	case "fig10":
-		return experiments.Figure10(ctx, s.harness)
+		return experiments.Figure10(ctx, run)
 	case "fig11":
-		return experiments.Figure11(ctx, s.harness)
+		return experiments.Figure11(ctx, run)
 	case "fig12":
-		return experiments.Figure12(ctx, s.harness)
+		return experiments.Figure12(ctx, run)
 	case "fig13":
-		return experiments.Figure13(ctx, s.harness)
+		return experiments.Figure13(ctx, run)
 	case "fig14":
-		return experiments.Figure14(ctx, s.harness)
+		return experiments.Figure14(ctx, run)
 	case "ipc":
-		return experiments.IPCComparison(ctx, s.harness, width, suite)
+		return experiments.IPCComparison(ctx, run, width, suite)
 	case "sweeps":
-		return experiments.Sweeps(ctx, s.harness)
+		return experiments.Sweeps(ctx, run)
 	case "summary":
-		return experiments.ComputeSummary(ctx, s.harness)
+		return experiments.ComputeSummary(ctx, run)
 	case "table1":
 		return experiments.Table1()
 	case "table2":
@@ -166,7 +169,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	key := strings.Join([]string{"exp", name, strconv.Itoa(width), suite, format}, "|")
 	s.serveCached(w, r, key, func() (cachedResponse, error) {
-		res, err := s.runArtifact(r.Context(), name, width, suite)
+		res, err := s.runArtifact(r.Context(), s.runner, name, width, suite)
 		if err != nil {
 			return cachedResponse{}, err
 		}
@@ -263,6 +266,10 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	cfg.DatapathCheck = datapathCheck
 	cfg.ModelWrongPath = wrongPath
 
+	if q.Get("ci-target") != "" && q.Get("samples") == "" {
+		writeError(w, http.StatusBadRequest, "ci-target requires samples (it sets the starting cell count)")
+		return
+	}
 	if q.Get("samples") != "" {
 		if datapathCheck || wrongPath || q.Get("sched") != "" {
 			writeError(w, http.StatusBadRequest,
@@ -292,6 +299,15 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		spec := experiments.SampleSpec{Samples: samples, Warmup: warmup, Measure: measure, FFWarm: int64(ffWarm)}
 		if err := spec.Validate(); err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if v := q.Get("ci-target"); v != "" {
+			target, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad ci-target: "+err.Error())
+				return
+			}
+			s.serveAdaptiveSim(w, r, cfg, wl, spec, target)
 			return
 		}
 		s.serveSampledSim(w, r, cfg, wl, spec)
@@ -359,6 +375,42 @@ func (s *Server) serveSampledSim(w http.ResponseWriter, r *http.Request, cfg mac
 		body, err := json.MarshalIndent(SampledSimResponse{
 			SampledResult: res,
 			RelCI:         res.RelCI(),
+		}, "", "  ")
+		if err != nil {
+			return cachedResponse{}, err
+		}
+		return cachedResponse{body: append(body, '\n'), contentType: "application/json"}, nil
+	})
+}
+
+// AdaptiveSimResponse is the /v1/sim body when ci-target= is present: the
+// variance-adaptive estimate with its convergence trail.
+type AdaptiveSimResponse struct {
+	*experiments.AdaptiveResult
+	RelCI float64 `json:"rel_ci"`
+}
+
+// serveAdaptiveSim runs the variance-adaptive estimator for one cell:
+//
+//	GET /v1/sim?workload=mcf&machine=rb-full&samples=4&ci-target=0.02
+//
+// Rounds double the cell count from samples= until the relative CI
+// half-width meets the target; the nested slot grid means every round
+// reuses all previously simulated cells.
+func (s *Server) serveAdaptiveSim(w http.ResponseWriter, r *http.Request, cfg machine.Config, wl *workload.Workload, spec experiments.SampleSpec, target float64) {
+	key := strings.Join([]string{
+		"simadaptive", cfg.Name, wl.Name,
+		fmt.Sprintf("%d/%d/%d/%d", spec.Samples, spec.Warmup, spec.Measure, spec.FFWarm),
+		strconv.FormatFloat(target, 'g', -1, 64),
+	}, "|")
+	s.serveCached(w, r, key, func() (cachedResponse, error) {
+		res, err := s.harness.RunSampledAdaptive(r.Context(), cfg, wl, spec, target)
+		if err != nil {
+			return cachedResponse{}, err
+		}
+		body, err := json.MarshalIndent(AdaptiveSimResponse{
+			AdaptiveResult: res,
+			RelCI:          res.RelCI(),
 		}, "", "  ")
 		if err != nil {
 			return cachedResponse{}, err

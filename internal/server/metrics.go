@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/grid"
 	"repro/internal/rcache"
 	"repro/internal/stats"
 )
@@ -93,6 +94,16 @@ type MetricsSnapshot struct {
 
 	CellCache     rcache.Stats `json:"cell_cache"`
 	ResponseCache rcache.Stats `json:"response_cache"`
+
+	// Grid reports the cell router: per-worker circuit state and traffic
+	// counters, plus the coordinator's shared result tier. In a
+	// single-process server the one "local" worker appears here too, so the
+	// section's shape is mode-independent.
+	Grid struct {
+		Mode        string                `json:"mode"` // local or coordinator
+		Workers     []grid.WorkerSnapshot `json:"workers"`
+		SharedCache rcache.Stats          `json:"shared_cache"`
+	} `json:"grid"`
 }
 
 // snapshot assembles the full snapshot.
@@ -122,6 +133,11 @@ func (s *Server) snapshot() MetricsSnapshot {
 	out.Pool.Completed = s.pool.Completed()
 	out.CellCache = s.harness.CacheStats()
 	out.ResponseCache = s.resp.Stats()
+	out.Grid.Mode = "local"
+	if len(s.cfg.Workers) > 0 {
+		out.Grid.Mode = "coordinator"
+	}
+	out.Grid.Workers, out.Grid.SharedCache = s.router.Snapshot()
 	return out
 }
 

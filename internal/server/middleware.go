@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/grid"
 	"repro/internal/pool"
 )
 
@@ -40,6 +41,14 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 		w.wrote = true
 	}
 	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the wrapped writer so streaming handlers (SSE/NDJSON
+// batches) can push events through the middleware chain incrementally.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // observed wraps every route: it recovers panics into 500s (a crashed
@@ -96,9 +105,10 @@ const retryAfterSeconds = 1
 // failRequest maps a handler error to a response: context deadline
 // exhaustion becomes 504 (the work itself cannot be aborted mid-cell, but
 // the client stops waiting), cancellation 499-style 503, a closed worker
-// pool 503 (the process is draining), everything else 400 — by the time a
-// request reaches the simulator, invalid parameters are the only expected
-// failure.
+// pool 503 (the process is draining), an exhausted grid 503 (every worker
+// down or every breaker open is a capacity failure, not a caller mistake),
+// everything else 400 — by the time a request reaches the simulator,
+// invalid parameters are the only expected failure.
 func (s *Server) failRequest(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
@@ -108,6 +118,8 @@ func (s *Server) failRequest(w http.ResponseWriter, r *http.Request, err error) 
 		writeError(w, http.StatusServiceUnavailable, "request canceled")
 	case errors.Is(err, pool.ErrPoolClosed):
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+	case errors.Is(err, grid.ErrNoWorkers):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
 	default:
 		writeError(w, http.StatusBadRequest, err.Error())
 	}

@@ -71,6 +71,33 @@ func TestBadParamsNever500(t *testing.T) {
 		"/v1/experiment/ipc?width=0",
 		"/v1/experiment/ipc?width=abc",
 		"/v1/experiment/ipc?suite=bogus",
+		// /v1/sim: variance-adaptive parameters.
+		"/v1/sim?workload=compress&ci-target=0.1",
+		"/v1/sim?workload=compress&samples=4&ci-target=abc",
+		"/v1/sim?workload=compress&samples=4&ci-target=0",
+		"/v1/sim?workload=compress&samples=4&ci-target=-0.5",
+		"/v1/sim?workload=compress&samples=4&ci-target=1",
+		"/v1/sim?workload=compress&samples=4&ci-target=1.5",
+		"/v1/sim?workload=compress&samples=4&ci-target=NaN",
+		// /v1/batch: the sweep axes reuse the same taxonomy.
+		"/v1/batch",
+		"/v1/batch?format=xml",
+		"/v1/batch?machines=nosuch",
+		"/v1/batch?machines=baseline&widths=abc",
+		"/v1/batch?machines=baseline&widths=7",
+		"/v1/batch?machines=baseline&windows=7",
+		"/v1/batch?machines=baseline&workloads=nosuch",
+		"/v1/batch?machines=baseline&suite=SPECfp",
+		"/v1/batch?machines=baseline&workloads=mcf&suite=all",
+		"/v1/batch?machines=baseline&samples=abc",
+		"/v1/batch?machines=baseline&samples=1",
+		"/v1/batch?machines=baseline&samples=4&warmup=-1",
+		"/v1/batch?no-bypass-levels=0",
+		"/v1/batch?no-bypass-levels=9",
+		"/v1/batch?artifact=nosuch",
+		"/v1/batch?artifact=fig9&machines=baseline",
+		"/v1/batch?artifact=ipc&width=5",
+		"/v1/batch?artifact=ipc&suite=bogus",
 	}
 	for _, p := range paths {
 		rec, body := get(t, p)

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/grid"
 	"repro/internal/pool"
 	"repro/internal/rcache"
 )
@@ -75,6 +76,27 @@ type Config struct {
 	// Chaos enables deterministic service-level fault injection (rbfault's
 	// service leg); the zero value disables it.
 	Chaos ChaosConfig
+
+	// Workers lists worker base URLs ("http://host:port"). Empty runs the
+	// single-process service; non-empty makes this server a grid
+	// coordinator: /v1/batch and /v1/experiment route their cells across the
+	// workers by rendezvous hashing (DESIGN.md §16).
+	Workers []string
+	// NewTransport overrides how a worker URL becomes a transport; nil
+	// builds an HTTP transport with a retrying client. Tests inject
+	// goroutine-backed fakes here.
+	NewTransport func(base string) grid.Transport
+	// GridMaxInflight caps concurrently routed cells in coordinator mode;
+	// 0 takes the router's default (4 per worker).
+	GridMaxInflight int
+	// GridCacheCells bounds the coordinator's shared result tier; 0 means
+	// the router's default (64k cells).
+	GridCacheCells int64
+	// WorkerRetries and WorkerRetryBase shape the coordinator's per-request
+	// retry policy against workers (defaults: 2 extra attempts, 50ms base;
+	// a worker Retry-After hint overrides the backoff schedule).
+	WorkerRetries   int
+	WorkerRetryBase time.Duration
 }
 
 // Server is one rbserve instance. Create with New, mount Handler, Close
@@ -87,7 +109,9 @@ type Server struct {
 	met      *metrics
 	sem      chan struct{} // admission-control slots for /v1 routes
 	brk      *breaker
-	chaosSeq atomic.Int64 // chaotic-request ordinal
+	router   *grid.Router       // cell routing + shared result tier
+	runner   experiments.Runner // harness locally, router in coordinator mode
+	chaosSeq atomic.Int64       // chaotic-request ordinal
 	mux      *http.ServeMux
 	logf     func(format string, args ...any)
 }
@@ -134,9 +158,62 @@ func New(cfg Config) *Server {
 		s.logf = log.Printf
 	}
 	s.harness = experiments.NewHarnessWith(s.pool, nil)
+	s.buildRouter()
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
+}
+
+// buildRouter wires the grid router. With no configured workers the router
+// has a single Local transport over the shared harness (so /v1/batch works
+// identically in a single process); with workers, the router fans out over
+// HTTP (or injected fake) transports and the experiment endpoints run
+// distributed too.
+func (s *Server) buildRouter() {
+	cfg := s.cfg
+	opts := grid.Options{
+		MaxInflight:       cfg.GridMaxInflight,
+		CacheCells:        cfg.GridCacheCells,
+		BreakerWindow:     cfg.BreakerWindow,
+		BreakerThreshold:  cfg.BreakerThreshold,
+		BreakerMinSamples: cfg.BreakerMinSamples,
+		BreakerCooldown:   cfg.BreakerCooldown,
+	}
+	if len(cfg.Workers) == 0 {
+		opts.Workers = []grid.Transport{&grid.Local{Harness: s.harness}}
+	} else {
+		newT := cfg.NewTransport
+		if newT == nil {
+			retries, base := cfg.WorkerRetries, cfg.WorkerRetryBase
+			if retries == 0 {
+				retries = 2
+			}
+			if base <= 0 {
+				base = 50 * time.Millisecond
+			}
+			newT = func(workerURL string) grid.Transport {
+				return &grid.HTTP{Base: workerURL, Client: &grid.RetryClient{
+					HTTP:    &http.Client{Timeout: cfg.RequestTimeout},
+					Retries: retries,
+					Base:    base,
+				}}
+			}
+		}
+		for _, w := range cfg.Workers {
+			opts.Workers = append(opts.Workers, newT(w))
+		}
+	}
+	router, err := grid.NewRouter(opts)
+	if err != nil {
+		// Only reachable via duplicate worker names; fail fast at startup.
+		panic(err)
+	}
+	s.router = router
+	if len(cfg.Workers) == 0 {
+		s.runner = s.harness
+	} else {
+		s.runner = router
+	}
 }
 
 // Handler is the fully wired route tree.
@@ -158,6 +235,13 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/experiment/{name}", s.observed(s.breaking(s.chaotic(s.limited(s.handleExperiment)))))
 	s.mux.HandleFunc("GET /v1/sim", s.observed(s.breaking(s.chaotic(s.limited(s.handleSim)))))
 	s.mux.HandleFunc("GET /v1/check", s.observed(s.breaking(s.chaotic(s.limited(s.handleCheck)))))
+	// Grid endpoints (DESIGN.md §16): /v1/cell is the worker's unit of
+	// distribution (one cell in, one result out); /v1/batch is the
+	// coordinator's sweep endpoint, streaming per-cell results over SSE or
+	// NDJSON as they land.
+	s.mux.HandleFunc("POST /v1/cell", s.observed(s.breaking(s.chaotic(s.limited(s.handleCell)))))
+	s.mux.HandleFunc("GET /v1/batch", s.observed(s.breaking(s.chaotic(s.limited(s.handleBatch)))))
+	s.mux.HandleFunc("POST /v1/batch", s.observed(s.breaking(s.chaotic(s.limited(s.handleBatch)))))
 	// Live profiling of the serving process (README "Profiling the
 	// simulator"); pprof handlers stream and manage their own timeouts.
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -40,7 +40,7 @@ go test -run '^$' -fuzz '^FuzzCheckpointRoundtrip$' -fuzztime 5s ./internal/ckpt
 # pool, response cache, HTTP service, fault campaigns) get a second -race
 # shake beyond the one-shot full run above, to catch schedule-dependent
 # races like Submit-vs-Close.
-go test -race -count=2 -timeout 20m ./internal/pool/ ./internal/rcache/ ./internal/server/ ./internal/fault/
+go test -race -count=2 -timeout 20m ./internal/pool/ ./internal/rcache/ ./internal/server/ ./internal/fault/ ./internal/grid/
 
 # rbserve smoke test: boot the server on an ephemeral port, probe liveness
 # and metrics with its built-in client (no curl dependency), and require the
@@ -65,3 +65,42 @@ diff "$BIN/fig9.srv" "$BIN/fig9.cli"
 kill "$SRV_PID"
 wait "$SRV_PID" || true
 SRV_PID=''
+
+# Grid smoke test: two worker processes plus a coordinator routing across
+# them. The coordinator's batch artifact endpoint must be byte-identical to
+# serial rbexp — the distributed sweep changes where cells run, never what
+# they compute. Also exercises the SSE stream shape end to end.
+"$BIN/rbserve" -role worker -addr 127.0.0.1:0 -addr-file "$BIN/w1.addr" &
+W1_PID=$!
+"$BIN/rbserve" -role worker -addr 127.0.0.1:0 -addr-file "$BIN/w2.addr" &
+W2_PID=$!
+trap 'rm -rf "$BIN"; for p in "${SRV_PID:-}" "${W1_PID:-}" "${W2_PID:-}" "${CO_PID:-}"; do [ -n "$p" ] && kill "$p" 2>/dev/null || true; done' EXIT
+for _ in $(seq 1 100); do
+	[ -s "$BIN/w1.addr" ] && [ -s "$BIN/w2.addr" ] && break
+	sleep 0.1
+done
+[ -s "$BIN/w1.addr" ] && [ -s "$BIN/w2.addr" ]
+W1="$(head -n1 "$BIN/w1.addr")"
+W2="$(head -n1 "$BIN/w2.addr")"
+"$BIN/rbserve" -role coordinator -workers "http://$W1,http://$W2" \
+	-addr 127.0.0.1:0 -addr-file "$BIN/co.addr" &
+CO_PID=$!
+for _ in $(seq 1 100); do
+	[ -s "$BIN/co.addr" ] && break
+	sleep 0.1
+done
+[ -s "$BIN/co.addr" ]
+CO="$(head -n1 "$BIN/co.addr")"
+"$BIN/rbserve" -get "http://$CO/healthz" | grep -q '^ok$'
+"$BIN/rbserve" -get "http://$CO/v1/batch?artifact=fig9&format=text" >"$BIN/fig9.grid"
+diff "$BIN/fig9.grid" "$BIN/fig9.cli"
+# The figure endpoints route through the same grid Runner.
+"$BIN/rbserve" -get "http://$CO/v1/experiment/fig9?format=text" >"$BIN/fig9.grid2"
+diff "$BIN/fig9.grid2" "$BIN/fig9.cli"
+# Both workers actually served cells, and the stream terminates with done.
+"$BIN/rbserve" -get "http://$CO/metrics" | grep -q '"mode": *"coordinator"'
+"$BIN/rbserve" -get "http://$CO/v1/batch?machines=baseline&widths=4&workloads=compress&format=sse" \
+	| grep -q '^event: done$'
+kill "$W1_PID" "$W2_PID" "$CO_PID"
+wait "$W1_PID" "$W2_PID" "$CO_PID" 2>/dev/null || true
+W1_PID='' W2_PID='' CO_PID=''
