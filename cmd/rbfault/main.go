@@ -36,6 +36,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
 	seed := flag.Int64("seed", 0, "campaign seed")
 	engine := flag.String("engine", "packed", "gate-sweep engine: packed (64 sites/pass) or scalar (oracle)")
+	gridLeg := flag.Bool("grid", false, "add the grid chaos campaign (routing, heartbeats, journal resume)")
 	flag.Parse()
 	_ = quick // -quick is the default; -full overrides it
 
@@ -54,6 +55,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rbfault: service leg:", err)
 		os.Exit(1)
 	}
+	var gridRep *fault.GridReport
+	if *gridLeg {
+		if gridRep, err = fault.RunGrid(fault.Options{Full: *full, Seed: *seed}); err != nil {
+			fmt.Fprintln(os.Stderr, "rbfault: grid leg:", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "rbfault: campaign finished in %v\n", time.Since(start).Round(time.Millisecond))
 
 	if *jsonOut {
@@ -61,19 +69,29 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(struct {
 			*fault.Campaign
-			Service *serviceReport `json:"Service"`
-		}{campaign, svc}); err != nil {
+			Service *serviceReport    `json:"Service"`
+			Grid    *fault.GridReport `json:"Grid,omitempty"`
+		}{campaign, svc, gridRep}); err != nil {
 			fmt.Fprintln(os.Stderr, "rbfault:", err)
 			os.Exit(1)
 		}
 	} else {
 		campaign.WriteText(os.Stdout)
 		svc.writeText(os.Stdout)
+		if gridRep != nil {
+			gridRep.WriteText(os.Stdout)
+		}
 	}
 
 	if err := verify(campaign, svc); err != nil {
 		fmt.Fprintln(os.Stderr, "rbfault: FAIL:", err)
 		os.Exit(1)
+	}
+	if gridRep != nil {
+		if err := gridRep.Verify(); err != nil {
+			fmt.Fprintln(os.Stderr, "rbfault: FAIL:", err)
+			os.Exit(1)
+		}
 	}
 }
 

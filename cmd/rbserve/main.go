@@ -11,6 +11,11 @@
 //	rbserve -role=coordinator \
 //	    -workers http://127.0.0.1:9001,http://127.0.0.1:9002 # grid front end
 //
+//	rbserve -role=coordinator -journal-dir /var/rb/journals  # durable batches,
+//	                                                         # workers join via -register
+//	rbserve -role=worker -addr 127.0.0.1:0 \
+//	    -register http://127.0.0.1:8080                      # heartbeat into the grid
+//
 // Endpoints: /healthz, /metrics, /v1/workloads,
 // /v1/experiment/{name}?format=json|text, /v1/sim, /v1/check, /v1/cell,
 // /v1/batch, and /debug/pprof. See the README "Serving the simulator" and
@@ -36,6 +41,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -60,8 +66,12 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request deadline for /v1 routes")
 	cacheMB := flag.Int64("cache-mb", 64, "rendered-response cache budget in MiB")
 	role := flag.String("role", "", "grid role: empty (single process), worker, or coordinator")
-	workers := flag.String("workers", "", "coordinator mode: comma-separated worker base URLs")
+	workers := flag.String("workers", "", "coordinator mode: comma-separated seed worker base URLs (optional when workers -register)")
 	gridInflight := flag.Int("grid-inflight", 0, "coordinator mode: max concurrently routed cells (0 = 4 per worker)")
+	journalDir := flag.String("journal-dir", "", "coordinator mode: append batch journals here; incomplete batches resume on restart")
+	heartbeat := flag.Duration("heartbeat", 0, "coordinator mode: expected worker heartbeat interval (0 = 2s)")
+	register := flag.String("register", "", "worker mode: coordinator base URL to send registration heartbeats to")
+	advertise := flag.String("advertise", "", "worker mode: base URL to advertise in heartbeats (default http://<bound addr>)")
 	get := flag.String("get", "", "probe mode: fetch this URL, print the body, and exit")
 	retries := flag.Int("retries", 3, "probe mode: extra attempts after a transport error or retryable status")
 	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "probe mode: first backoff delay, doubled per retry")
@@ -84,18 +94,28 @@ func main() {
 		if *workers != "" {
 			log.Fatalf("rbserve: -workers requires -role=coordinator")
 		}
-	case "coordinator":
-		if *workers == "" {
-			log.Fatalf("rbserve: -role=coordinator requires -workers")
+		if *journalDir != "" {
+			log.Fatalf("rbserve: -journal-dir requires -role=coordinator")
 		}
+	case "coordinator":
+		// Seed workers are optional: a coordinator without -workers starts
+		// with an empty grid and waits for workers to -register.
 		for _, w := range strings.Split(*workers, ",") {
 			w = strings.TrimSpace(w)
-			if w == "" {
+			if w == "" && *workers != "" {
 				log.Fatalf("rbserve: empty worker URL in -workers")
 			}
-			cfg.Workers = append(cfg.Workers, w)
+			if w != "" {
+				cfg.Workers = append(cfg.Workers, w)
+			}
 		}
+		if *register != "" {
+			log.Fatalf("rbserve: -register is for workers; a coordinator is registered with")
+		}
+		cfg.Coordinator = true
 		cfg.GridMaxInflight = *gridInflight
+		cfg.JournalDir = *journalDir
+		cfg.HeartbeatInterval = *heartbeat
 	default:
 		log.Fatalf("rbserve: unknown -role %q (want worker or coordinator)", *role)
 	}
@@ -113,8 +133,8 @@ func main() {
 			log.Fatalf("rbserve: %v", err)
 		}
 	}
-	if len(cfg.Workers) > 0 {
-		log.Printf("rbserve: coordinating %d workers, listening on http://%s", len(cfg.Workers), bound)
+	if cfg.Coordinator {
+		log.Printf("rbserve: coordinating (%d seed workers), listening on http://%s", len(cfg.Workers), bound)
 	} else {
 		log.Printf("rbserve: listening on http://%s", bound)
 	}
@@ -122,6 +142,26 @@ func main() {
 	hs := &http.Server{Handler: srv.Handler()}
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
+
+	if cfg.JournalDir != "" {
+		// Resume incomplete batches in the background: the listener is
+		// already answering, and a resume needs live workers anyway.
+		go func() {
+			if err := srv.ResumeJournals(context.Background()); err != nil {
+				log.Printf("rbserve: journal resume: %v", err)
+			}
+		}()
+	}
+	if *register != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + bound
+		}
+		// Process-lifetime daemon by design: the worker beats until it
+		// dies, and a coordinator restart just sees it rejoin.
+		//rblint:allow goleak
+		go heartbeatLoop(strings.TrimRight(*register, "/"), adv)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -139,6 +179,49 @@ func main() {
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("rbserve: %v", err)
 		}
+	}
+}
+
+// heartbeatLoop registers this worker with the coordinator and keeps
+// beating at the interval the coordinator dictates. Failures are retried at
+// the same cadence — a coordinator restart just sees the worker rejoin —
+// and logged only on state changes so a long outage does not spam the log.
+func heartbeatLoop(coordinator, advertise string) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	interval := grid.DefaultHeartbeatInterval
+	body := strings.NewReader("")
+	failing := false
+	for {
+		body.Reset(fmt.Sprintf(`{"url": %q}`, advertise))
+		resp, err := client.Post(coordinator+"/v1/register", "application/json", body)
+		switch {
+		case err != nil:
+			if !failing {
+				log.Printf("rbserve: heartbeat to %s failed: %v", coordinator, err)
+			}
+			failing = true
+		case resp.StatusCode != http.StatusOK:
+			resp.Body.Close()
+			if !failing {
+				log.Printf("rbserve: heartbeat to %s rejected: %d", coordinator, resp.StatusCode)
+			}
+			failing = true
+		default:
+			var reg struct {
+				Joined          bool    `json:"joined"`
+				IntervalSeconds float64 `json:"interval_seconds"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&reg)
+			resp.Body.Close()
+			if err == nil && reg.IntervalSeconds > 0 {
+				interval = time.Duration(reg.IntervalSeconds * float64(time.Second))
+			}
+			if failing || reg.Joined {
+				log.Printf("rbserve: registered with %s as %s (beating every %v)", coordinator, advertise, interval)
+			}
+			failing = false
+		}
+		time.Sleep(interval)
 	}
 }
 

@@ -1,0 +1,657 @@
+package fault
+
+// Grid chaos campaign (DESIGN.md §17): seeded fault injection against the
+// coordinator's resilience layer, three phases mirroring the package's
+// layer-per-leg structure:
+//
+//   - routing: a worker set with a permanently dead member and seeded
+//     one-shot worker kills routes a real cell sweep; every cell must land,
+//     every delivered value must match a serially computed oracle, and the
+//     assembled output must be byte-identical to the serial rendering. A
+//     second router races a deliberately hung first attempt against its
+//     hedge, which must win without charging any breaker.
+//
+//   - health: a scripted heartbeat timeline (drop windows per worker:
+//     a short silence that must only suspect, a long one that must kill and
+//     rejoin, and a permanent one that must kill) drives the registry on a
+//     fake clock; observed suspect/death/rejoin transitions and the live-set
+//     size after every sweep are compared against an independent model of
+//     the documented state machine.
+//
+//   - journal: a batch journal with duplicate delivery and seeded torn-write
+//     cuts is replayed (clean-prefix recovery, first-wins dedup, no lost or
+//     phantom cells), then resumed through a counting transport: journaled
+//     cells must be cache hits, the transport must see exactly the missing
+//     cells, and the completed journal's rendering must be byte-identical to
+//     the serial oracle's.
+//
+// Like every campaign in this package, the report is a pure function of
+// (seed, tier): fault sites, drop windows, and cut offsets all derive from
+// seeded generators, and no phase reads the wall clock — the heartbeat
+// timeline runs on time.Date arithmetic.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/grid"
+	"repro/internal/workload"
+)
+
+// GridReport is the grid chaos campaign's outcome.
+type GridReport struct {
+	Seed int64
+	Full bool
+
+	Routing struct {
+		Workers       int   // transports in the routing phase (one always dead)
+		Cells         int   // cells in the sweep
+		Delivered     int   // cells that landed
+		Mismatched    int   // delivered values diverging from the serial oracle
+		InjectedKills int   // seeded one-shot worker kills
+		Failovers     int64 // failed attempts absorbed by rerouting
+		OracleMatch   bool  // assembled output byte-identical to serial
+		Hedges        int64 // hedge attempts in the straggler race
+		HedgeWins     int64 // races won by the hedge
+	}
+
+	Health struct {
+		Workers        int   // registered workers
+		Beats          int   // heartbeats delivered
+		DroppedBeats   int   // heartbeats suppressed by drop windows
+		Suspects       int64 // observed alive → suspect transitions
+		Deaths         int64 // observed → dead transitions
+		Rejoins        int64 // observed dead → alive revivals
+		WantSuspects   int64 // independent state-machine model
+		WantDeaths     int64
+		WantRejoins    int64
+		LiveMismatches int // sweeps where live-set size diverged from the model
+	}
+
+	Journal struct {
+		Cells         int  // cells in the batch
+		Written       int  // unique cells journaled before the crash
+		Duplicates    int  // duplicate deliveries journaled
+		TornCuts      int  // seeded mid-record cuts replayed
+		Recovered     int  // unique cells recovered from the final torn journal
+		Lost          int  // fully-written cells a replay failed to recover
+		Phantom       int  // recovered cells that were never written
+		Missing       int  // cells absent from the journal at resume
+		Redispatched  int  // transport calls during resume (must equal Missing)
+		ByteIdentical bool // resumed rendering == serial oracle rendering
+	}
+}
+
+// gridSpec is the cell sweep every phase shares: small real cells so the
+// oracle differential is against the actual simulator, not a stub.
+func gridSpec(full bool) *grid.BatchSpec {
+	spec := &grid.BatchSpec{
+		Machines:  []string{"baseline", "rb-full"},
+		Widths:    []int{4},
+		Workloads: []string{"compress", "mcf", "li"},
+	}
+	if full {
+		spec.Machines = append(spec.Machines, "rb-limited")
+		spec.Workloads = append(spec.Workloads, "go", "ijpeg")
+	}
+	return spec
+}
+
+// RunGrid executes the grid chaos campaign.
+func RunGrid(opts Options) (*GridReport, error) {
+	rep := &GridReport{Seed: opts.Seed, Full: opts.Full}
+
+	spec := gridSpec(opts.Full)
+	cells, err := spec.Cells()
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := serialOracle(cells)
+	if err != nil {
+		return nil, err
+	}
+	if err := runRoutingChaos(opts, rep, cells, oracle); err != nil {
+		return nil, err
+	}
+	if err := runHedgeRace(opts, rep, cells, oracle); err != nil {
+		return nil, err
+	}
+	if err := runHealthChaos(opts, rep); err != nil {
+		return nil, err
+	}
+	if err := runJournalChaos(opts, rep, spec, cells, oracle); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// serialOracle computes every cell locally, in order — the ground truth the
+// chaotic grid must reproduce byte-for-byte.
+func serialOracle(cells []grid.CellRequest) (map[string]*grid.CellResult, error) {
+	h := experiments.NewHarness(2)
+	defer h.Close()
+	out := make(map[string]*grid.CellResult, len(cells))
+	for i := range cells {
+		w, ok := workload.ByName(cells[i].Workload)
+		if !ok {
+			return nil, fmt.Errorf("grid chaos: unknown workload %q", cells[i].Workload)
+		}
+		res, err := h.RunCell(context.Background(), cells[i].Config, w)
+		if err != nil {
+			return nil, err
+		}
+		out[cells[i].Key()] = &grid.CellResult{Key: cells[i].Key(), Result: res}
+	}
+	return out, nil
+}
+
+// renderCells is the differential's canonical rendering: sorted keys, fixed
+// IPC precision.
+func renderCells(results []*grid.CellResult) string {
+	sorted := append([]*grid.CellResult(nil), results...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Key < sorted[b].Key })
+	var b strings.Builder
+	for _, r := range sorted {
+		fmt.Fprintf(&b, "%-48s %8.4f\n", r.Key, r.IPC())
+	}
+	return b.String()
+}
+
+// chaosTransport serves cells from the oracle, injecting seeded faults:
+// permanently dead, or a one-shot kill of the first attempt for each cell
+// key in kills (the shared killed map makes each kill fire exactly once
+// grid-wide, so sequential failover always succeeds — a lost cell is a
+// router bug, never an artifact of the schedule).
+type chaosTransport struct {
+	name     string
+	oracle   map[string]*grid.CellResult
+	dead     bool
+	kills    map[string]bool
+	killed   *map[string]*atomic.Bool // shared across workers
+	attempts atomic.Int64
+	failures atomic.Int64
+}
+
+func (c *chaosTransport) Name() string { return c.name }
+
+func (c *chaosTransport) RunCell(ctx context.Context, req *grid.CellRequest) (*grid.CellResult, error) {
+	c.attempts.Add(1)
+	key := req.Key()
+	if c.dead {
+		c.failures.Add(1)
+		return nil, fmt.Errorf("chaos: worker %s is down", c.name)
+	}
+	if c.kills[key] {
+		if once := (*c.killed)[key]; once != nil && !once.Swap(true) {
+			c.failures.Add(1)
+			return nil, fmt.Errorf("chaos: worker %s killed mid-cell", c.name)
+		}
+	}
+	res, ok := c.oracle[key]
+	if !ok {
+		return nil, fmt.Errorf("chaos: worker %s has no oracle for %s", c.name, key)
+	}
+	return res, nil
+}
+
+// runRoutingChaos routes the sweep over three workers — one permanently
+// dead, the others with seeded one-shot kills — and checks delivery,
+// per-cell values, failover accounting, and output byte-identity.
+func runRoutingChaos(opts Options, rep *GridReport, cells []grid.CellRequest, oracle map[string]*grid.CellResult) error {
+	rng := opts.rng(101)
+	kills := make(map[string]bool)
+	killed := make(map[string]*atomic.Bool)
+	for i := range cells {
+		if rng.Intn(2) == 0 { // roughly half the cells lose a worker mid-cell
+			key := cells[i].Key()
+			kills[key] = true
+			killed[key] = &atomic.Bool{}
+		}
+	}
+	if len(kills) == 0 { // a tame seed still injects at least one kill
+		key := cells[0].Key()
+		kills[key] = true
+		killed[key] = &atomic.Bool{}
+	}
+	rep.Routing.InjectedKills = len(kills)
+
+	workers := []*chaosTransport{
+		{name: "chaos-w0", oracle: oracle, kills: kills, killed: &killed},
+		{name: "chaos-w1", oracle: oracle, kills: kills, killed: &killed},
+		{name: "chaos-w2", oracle: oracle, dead: true},
+	}
+	rep.Routing.Workers = len(workers)
+	rep.Routing.Cells = len(cells)
+
+	router, err := grid.NewRouter(grid.Options{
+		Workers:       []grid.Transport{workers[0], workers[1], workers[2]},
+		HedgeMinDelay: -1, // hedging has its own deterministic phase
+	})
+	if err != nil {
+		return err
+	}
+	var delivered []*grid.CellResult
+	for i := range cells { // sequential: the kill schedule is reproducible
+		res, err := router.Do(context.Background(), &cells[i])
+		if err != nil {
+			return fmt.Errorf("grid chaos: cell %s lost: %w", cells[i].Key(), err)
+		}
+		rep.Routing.Delivered++
+		want := oracle[res.Key]
+		if want == nil || res.IPC() != want.IPC() {
+			rep.Routing.Mismatched++
+		}
+		delivered = append(delivered, res)
+	}
+	for _, w := range workers {
+		rep.Routing.Failovers += w.failures.Load()
+	}
+	rep.Routing.OracleMatch = renderCells(delivered) == renderOracle(cells, oracle)
+	return nil
+}
+
+func renderOracle(cells []grid.CellRequest, oracle map[string]*grid.CellResult) string {
+	all := make([]*grid.CellResult, 0, len(cells))
+	for i := range cells {
+		all = append(all, oracle[cells[i].Key()])
+	}
+	return renderCells(all)
+}
+
+// hungTransport answers from the oracle unless it is the designated
+// straggler, in which case it blocks until canceled. The straggler is the
+// cell's rendezvous home (discovered by a fault-free probe below), so the
+// primary attempt always hangs and the hedge must win — by construction,
+// not by goroutine scheduling.
+type hungTransport struct {
+	name   string
+	oracle map[string]*grid.CellResult
+	hang   bool
+}
+
+func (h *hungTransport) Name() string { return h.name }
+
+func (h *hungTransport) RunCell(ctx context.Context, req *grid.CellRequest) (*grid.CellResult, error) {
+	if h.hang {
+		<-ctx.Done() // straggle until the lost hedge race cancels us
+		return nil, ctx.Err()
+	}
+	return h.oracle[req.Key()], nil
+}
+
+// recordTransport notes that it served an attempt — the rendezvous-home
+// probe for runHedgeRace.
+type recordTransport struct {
+	name   string
+	oracle map[string]*grid.CellResult
+	served atomic.Bool
+}
+
+func (t *recordTransport) Name() string { return t.name }
+
+func (t *recordTransport) RunCell(ctx context.Context, req *grid.CellRequest) (*grid.CellResult, error) {
+	t.served.Store(true)
+	return t.oracle[req.Key()], nil
+}
+
+// runHedgeRace races one deliberately hung attempt against its hedge.
+func runHedgeRace(opts Options, rep *GridReport, cells []grid.CellRequest, oracle map[string]*grid.CellResult) error {
+	// Probe which worker is rendezvous-home for the race cell: a fault-free
+	// 2-worker router routes the cell to its home, and the recording
+	// transports say which one that was. The race router below reuses the
+	// same worker names, so its rendezvous ranking is identical.
+	r0 := &recordTransport{name: "race-w0", oracle: oracle}
+	r1 := &recordTransport{name: "race-w1", oracle: oracle}
+	probe, err := grid.NewRouter(grid.Options{
+		Workers:       []grid.Transport{r0, r1},
+		HedgeMinDelay: -1,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := probe.Do(context.Background(), &cells[0]); err != nil {
+		return fmt.Errorf("grid chaos: home probe failed: %w", err)
+	}
+	router, err := grid.NewRouter(grid.Options{
+		Workers: []grid.Transport{
+			&hungTransport{name: "race-w0", oracle: oracle, hang: r0.served.Load()},
+			&hungTransport{name: "race-w1", oracle: oracle, hang: r1.served.Load()},
+		},
+		HedgeMinDelay:        time.Millisecond,
+		HedgeMinObservations: -1, // hedge from the first cell
+	})
+	if err != nil {
+		return err
+	}
+	res, err := router.Do(context.Background(), &cells[0])
+	if err != nil {
+		return fmt.Errorf("grid chaos: hedge race lost the cell: %w", err)
+	}
+	if want := oracle[cells[0].Key()]; res.IPC() != want.IPC() {
+		rep.Routing.Mismatched++
+	}
+	stats := router.Stats()
+	rep.Routing.Hedges = stats.Hedges
+	rep.Routing.HedgeWins = stats.HedgeWins
+	return nil
+}
+
+// healthModel is the independent re-implementation of the registry's
+// documented state machine (alive → suspect → dead, beat revives) the
+// campaign diffs transition counts against.
+type healthModel struct {
+	health   grid.Health
+	lastBeat time.Time
+}
+
+// runHealthChaos scripts a heartbeat timeline over a fake clock: per-worker
+// drop windows chosen (seeded) so one worker never drops, one suspects and
+// revives, one dies and rejoins, and one dies for good.
+func runHealthChaos(opts Options, rep *GridReport) error {
+	rng := opts.rng(102)
+	const (
+		ticks    = 45
+		interval = time.Second // suspect at 3s silence, dead at 10s
+	)
+	router, err := grid.NewRouter(grid.Options{
+		HeartbeatInterval: interval,
+		NewTransport: func(base string) grid.Transport {
+			return &chaosTransport{name: base}
+		},
+		HedgeMinDelay: -1,
+	})
+	if err != nil {
+		return err
+	}
+
+	// dropWindow[i] = [start, end) ticks of silence for worker i.
+	type window struct{ start, end int }
+	drops := []window{
+		{0, 0},                            // h0: steady
+		{5 + rng.Intn(5), 0},              // h1: short silence — suspect only
+		{12 + rng.Intn(4), 0},             // h2: long silence — dead, then rejoin
+		{25 + rng.Intn(5), ticks + ticks}, // h3: silent forever — dead
+	}
+	drops[1].end = drops[1].start + 4 + rng.Intn(2)  // 4-5s < 10s
+	drops[2].end = drops[2].start + 12 + rng.Intn(4) // 12-15s ≥ 10s
+
+	names := []string{"chaos-h0", "chaos-h1", "chaos-h2", "chaos-h3"}
+	rep.Health.Workers = len(names)
+	model := make([]healthModel, len(names))
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	var wantSuspects, wantDeaths, wantRejoins int64
+
+	for t := 0; t < ticks; t++ {
+		now := start.Add(time.Duration(t) * interval)
+		for i, name := range names {
+			if t >= drops[i].start && t < drops[i].end {
+				rep.Health.DroppedBeats++
+				continue
+			}
+			if _, err := router.Heartbeat(name, now); err != nil {
+				return err
+			}
+			rep.Health.Beats++
+			if t > 0 && model[i].health == grid.HealthDead {
+				wantRejoins++
+			}
+			model[i].health = grid.HealthAlive
+			model[i].lastBeat = now
+		}
+		router.Sweep(now)
+		wantLive := 0
+		for i := range model {
+			age := now.Sub(model[i].lastBeat)
+			switch {
+			case model[i].health == grid.HealthAlive && age >= 3*interval:
+				model[i].health = grid.HealthSuspect
+				wantSuspects++
+				if age >= 10*interval {
+					model[i].health = grid.HealthDead
+					wantDeaths++
+				}
+			case model[i].health == grid.HealthSuspect && age >= 10*interval:
+				model[i].health = grid.HealthDead
+				wantDeaths++
+			}
+			if model[i].health != grid.HealthDead {
+				wantLive++
+			}
+		}
+		if stats := router.Stats().Registry; stats.Live != wantLive {
+			rep.Health.LiveMismatches++
+		}
+	}
+	stats := router.Stats().Registry
+	rep.Health.Suspects = stats.Suspects
+	rep.Health.Deaths = stats.Deaths
+	rep.Health.Rejoins = stats.Rejoins
+	rep.Health.WantSuspects = wantSuspects
+	rep.Health.WantDeaths = wantDeaths
+	rep.Health.WantRejoins = wantRejoins
+	return nil
+}
+
+// runJournalChaos writes a batch journal with duplicate delivery, replays
+// seeded torn-write cuts, and resumes the final torn journal through a
+// counting transport.
+func runJournalChaos(opts Options, rep *GridReport, spec *grid.BatchSpec, cells []grid.CellRequest, oracle map[string]*grid.CellResult) error {
+	rng := opts.rng(103)
+	dir, err := os.MkdirTemp("", "rbfault-grid-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	rep.Journal.Cells = len(cells)
+	written := len(cells)/2 + 1 // journal a bit over half, crash mid-next
+	rep.Journal.Written = written
+	rep.Journal.Missing = len(cells) - written
+
+	meta := &grid.JournalMeta{Spec: spec}
+	id := grid.JournalID(meta, []byte{byte(opts.Seed)})
+	j, err := grid.CreateJournal(dir, id, meta)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < written; i++ {
+		if err := j.AppendCell(oracle[cells[i].Key()]); err != nil {
+			return err
+		}
+	}
+	// Duplicate delivery: one already-journaled cell lands again.
+	dup := rng.Intn(written)
+	if err := j.AppendCell(oracle[cells[dup].Key()]); err != nil {
+		return err
+	}
+	rep.Journal.Duplicates = 1
+	fi, err := os.Stat(j.Path())
+	if err != nil {
+		return err
+	}
+	cleanEnd := fi.Size()
+	// The crash: the next cell's record is torn mid-write.
+	if err := j.AppendCell(oracle[cells[written].Key()]); err != nil {
+		return err
+	}
+	if err := j.Close(); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(j.Path())
+	if err != nil {
+		return err
+	}
+
+	wantKeys := make(map[string]bool, written)
+	for i := 0; i < written; i++ {
+		wantKeys[cells[i].Key()] = true
+	}
+	// Replay several seeded cut points inside the torn record; each replay
+	// must recover exactly the cells whose records precede the cut.
+	cuts := 3
+	for c := 0; c < cuts; c++ {
+		cut := cleanEnd + 1 + int64(rng.Intn(int(int64(len(raw))-cleanEnd-1)))
+		path := filepath.Join(dir, fmt.Sprintf("cut%d%s", c, grid.JournalExt))
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			return err
+		}
+		cutRep, err := grid.ReadJournal(path)
+		if err != nil {
+			return fmt.Errorf("grid chaos: torn journal unreadable: %w", err)
+		}
+		if !cutRep.Torn {
+			return fmt.Errorf("grid chaos: cut at %d not reported torn", cut)
+		}
+		rep.Journal.TornCuts++
+		got := make(map[string]bool, len(cutRep.Cells))
+		for _, cell := range cutRep.Cells {
+			got[cell.Key] = true
+			if !wantKeys[cell.Key] {
+				rep.Journal.Phantom++
+			}
+		}
+		for key := range wantKeys {
+			if !got[key] {
+				rep.Journal.Lost++
+			}
+		}
+		if c == cuts-1 {
+			rep.Journal.Recovered = len(cutRep.Cells)
+			if err := resumeTornJournal(rep, path, cutRep, cells, oracle); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// resumeTornJournal replays the server's resume protocol against the torn
+// journal: seed the recovered cells into a fresh router's cache, truncate
+// the tail, re-run the batch, and append only what the journal lacks. The
+// counting transport proves journaled cells never reach a worker.
+func resumeTornJournal(rep *GridReport, path string, cutRep *grid.JournalReplay, cells []grid.CellRequest, oracle map[string]*grid.CellResult) error {
+	counter := &chaosTransport{name: "resume-w0", oracle: oracle}
+	router, err := grid.NewRouter(grid.Options{
+		Workers:       []grid.Transport{counter},
+		HedgeMinDelay: -1,
+	})
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool, len(cutRep.Cells))
+	for _, cell := range cutRep.Cells {
+		router.Seed(cell)
+		seen[cell.Key] = true
+	}
+	j, err := grid.OpenJournalAppend(path, cutRep.CleanLen)
+	if err != nil {
+		return err
+	}
+	var completed []*grid.CellResult
+	for i := range cells {
+		res, err := router.Do(context.Background(), &cells[i])
+		if err != nil {
+			return fmt.Errorf("grid chaos: resume lost cell %s: %w", cells[i].Key(), err)
+		}
+		completed = append(completed, res)
+		if !seen[res.Key] {
+			if err := j.AppendCell(res); err != nil {
+				return err
+			}
+			seen[res.Key] = true
+		}
+	}
+	if err := j.Done(); err != nil {
+		return err
+	}
+	if err := j.Close(); err != nil {
+		return err
+	}
+	rep.Journal.Redispatched = int(counter.attempts.Load())
+
+	final, err := grid.ReadJournal(path)
+	if err != nil {
+		return err
+	}
+	if !final.Done || final.Torn || len(final.Cells) != len(cells) {
+		return fmt.Errorf("grid chaos: resumed journal done=%v torn=%v cells=%d, want clean done with %d",
+			final.Done, final.Torn, len(final.Cells), len(cells))
+	}
+	rep.Journal.ByteIdentical = renderCells(completed) == renderOracle(cells, oracle) &&
+		renderCells(final.Cells) == renderOracle(cells, oracle)
+	return nil
+}
+
+// WriteText renders the grid campaign section of the report.
+func (g *GridReport) WriteText(w io.Writer) {
+	r := g.Routing
+	fmt.Fprintf(w, "\ngrid level (routing chaos, heartbeat registry, journal resume; seed %d):\n", g.Seed)
+	fmt.Fprintf(w, "  routing  %d cells over %d workers (1 down, %d killed mid-cell): %d delivered, %d mismatched, %d failovers, oracle-match %v\n",
+		r.Cells, r.Workers, r.InjectedKills, r.Delivered, r.Mismatched, r.Failovers, r.OracleMatch)
+	fmt.Fprintf(w, "  hedging  straggler race: %d hedged, %d won by the hedge\n", r.Hedges, r.HedgeWins)
+	h := g.Health
+	fmt.Fprintf(w, "  health   %d workers, %d beats (%d dropped): suspects %d/%d, deaths %d/%d, rejoins %d/%d, live-set mismatches %d\n",
+		h.Workers, h.Beats, h.DroppedBeats, h.Suspects, h.WantSuspects,
+		h.Deaths, h.WantDeaths, h.Rejoins, h.WantRejoins, h.LiveMismatches)
+	j := g.Journal
+	fmt.Fprintf(w, "  journal  %d cells, %d journaled (+%d duplicate), %d torn cuts: %d recovered, %d lost, %d phantom; resume re-dispatched %d/%d missing, byte-identical %v\n",
+		j.Cells, j.Written, j.Duplicates, j.TornCuts, j.Recovered, j.Lost, j.Phantom,
+		j.Redispatched, j.Missing, j.ByteIdentical)
+}
+
+// Verify asserts the campaign's invariants: no lost or mismatched cells, a
+// hedge that fires and wins, registry transitions exactly matching the
+// model, and a resume that re-dispatches only the missing cells with
+// byte-identical output.
+func (g *GridReport) Verify() error {
+	r := g.Routing
+	if r.Delivered != r.Cells || r.Mismatched != 0 {
+		return fmt.Errorf("grid routing: %d/%d delivered, %d mismatched", r.Delivered, r.Cells, r.Mismatched)
+	}
+	if !r.OracleMatch {
+		return fmt.Errorf("grid routing: chaotic output diverged from the serial oracle")
+	}
+	if r.InjectedKills == 0 || r.Failovers < int64(r.InjectedKills) {
+		return fmt.Errorf("grid routing: %d kills injected but only %d failovers absorbed", r.InjectedKills, r.Failovers)
+	}
+	if r.Hedges != 1 || r.HedgeWins != 1 {
+		return fmt.Errorf("grid hedging: %d hedges, %d wins — want the race hedged and won", r.Hedges, r.HedgeWins)
+	}
+	h := g.Health
+	if h.Suspects != h.WantSuspects || h.Deaths != h.WantDeaths || h.Rejoins != h.WantRejoins {
+		return fmt.Errorf("grid health: transitions (s=%d d=%d r=%d) diverge from model (s=%d d=%d r=%d)",
+			h.Suspects, h.Deaths, h.Rejoins, h.WantSuspects, h.WantDeaths, h.WantRejoins)
+	}
+	if h.LiveMismatches != 0 {
+		return fmt.Errorf("grid health: %d live-set mismatches against the model", h.LiveMismatches)
+	}
+	if h.Deaths < 1 || h.Rejoins < 1 || h.DroppedBeats == 0 {
+		return fmt.Errorf("grid health: campaign too tame (deaths %d, rejoins %d, dropped beats %d)",
+			h.Deaths, h.Rejoins, h.DroppedBeats)
+	}
+	j := g.Journal
+	if j.Lost != 0 || j.Phantom != 0 {
+		return fmt.Errorf("grid journal: %d cells lost, %d phantom across torn replays", j.Lost, j.Phantom)
+	}
+	if j.TornCuts == 0 || j.Duplicates == 0 {
+		return fmt.Errorf("grid journal: campaign too tame (%d torn cuts, %d duplicates)", j.TornCuts, j.Duplicates)
+	}
+	if j.Recovered != j.Written {
+		return fmt.Errorf("grid journal: recovered %d of %d journaled cells", j.Recovered, j.Written)
+	}
+	if j.Redispatched != j.Missing {
+		return fmt.Errorf("grid journal: resume re-dispatched %d cells, want exactly the %d missing", j.Redispatched, j.Missing)
+	}
+	if !j.ByteIdentical {
+		return fmt.Errorf("grid journal: resumed output diverged from the serial oracle")
+	}
+	return nil
+}

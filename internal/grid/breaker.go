@@ -145,6 +145,22 @@ func (b *Breaker) Record(failed, probe bool, now time.Time) {
 	}
 }
 
+// Cancel resolves an attempt whose outcome says nothing about the worker:
+// the client disconnected, or a hedge race canceled the losing attempt. A
+// canceled half-open probe returns the breaker to the half-open
+// awaiting-probe state — the next admitted request becomes a fresh probe —
+// without counting a trip (the worker did not fail) and without closing the
+// circuit (the worker did not prove itself either). Ordinary canceled
+// attempts are simply not recorded.
+func (b *Breaker) Cancel(probe bool) {
+	if !probe {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
 // reset clears the outcome window (caller holds mu).
 func (b *Breaker) reset() {
 	for i := range b.ring {

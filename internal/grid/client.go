@@ -86,14 +86,26 @@ func RetryDelay(attempt int, base, retryAfter time.Duration) time.Duration {
 	return base << attempt
 }
 
-// ParseRetryAfter reads an integer-seconds Retry-After header value
-// (0 when absent or malformed; the HTTP-date form is not used by rbserve).
-func ParseRetryAfter(v string) time.Duration {
+// ParseRetryAfter reads a Retry-After header value in either RFC 9110
+// §10.2.3 form: delta-seconds ("3") or an HTTP-date ("Wed, 21 Oct 2015
+// 07:28:00 GMT", evaluated against now). It returns 0 — "no hint, use the
+// backoff schedule" — for an absent, malformed, zero, or already-elapsed
+// value; rbserve itself only sends delta-seconds, but the coordinator's
+// workers can sit behind proxies that rewrite the header into a date.
+func ParseRetryAfter(v string, now time.Time) time.Duration {
 	if v == "" {
 		return 0
 	}
-	if sec, err := strconv.Atoi(v); err == nil && sec > 0 {
-		return time.Duration(sec) * time.Second
+	if sec, err := strconv.Atoi(v); err == nil {
+		if sec > 0 {
+			return time.Duration(sec) * time.Second
+		}
+		return 0
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
 	}
 	return 0
 }
@@ -166,5 +178,6 @@ func (c *RetryClient) once(req *http.Request) (body []byte, status int, retryAft
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	return body, resp.StatusCode, ParseRetryAfter(resp.Header.Get("Retry-After")), nil
+	hint := ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()) //rblint:allow determinism
+	return body, resp.StatusCode, hint, nil
 }

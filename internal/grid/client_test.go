@@ -37,17 +37,57 @@ func TestRetryDelayOverride(t *testing.T) {
 }
 
 func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2015, 10, 21, 7, 28, 0, 0, time.UTC)
 	cases := []struct {
 		in   string
 		want time.Duration
 	}{
+		// Delta-seconds form.
 		{"", 0}, {"3", 3 * time.Second}, {"0", 0}, {"-1", 0},
-		{"soon", 0}, {"1.5", 0},
+		// Malformed values mean "no hint": the caller falls back to its
+		// backoff schedule rather than retrying immediately.
+		{"soon", 0}, {"1.5", 0}, {"Wed, 32 Oct 2015 07:28:00 GMT", 0},
+		// HTTP-date form (RFC 9110 §10.2.3), relative to now.
+		{"Wed, 21 Oct 2015 07:28:30 GMT", 30 * time.Second},
+		{"Wed, 21 Oct 2015 07:30:00 GMT", 2 * time.Minute},
+		// A date in the past (or right now) is an elapsed hint: no wait.
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0},
+		{"Tue, 20 Oct 2015 07:28:00 GMT", 0},
+		// The obsolete RFC 850 and asctime date forms parse too.
+		{"Wednesday, 21-Oct-15 07:28:10 GMT", 10 * time.Second},
+		{"Wed Oct 21 07:28:05 2015", 5 * time.Second},
 	}
 	for _, c := range cases {
-		if got := ParseRetryAfter(c.in); got != c.want {
+		if got := ParseRetryAfter(c.in, now); got != c.want {
 			t.Errorf("ParseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
 		}
+	}
+}
+
+// TestRetryClientHonorsDateHint drives the HTTP-date form end to end: with a
+// pathological 10s backoff base, a 429 carrying a near-future HTTP-date must
+// be retried after roughly that date, not after the backoff.
+func TestRetryClientHonorsDateHint(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(time.Second).UTC().Format(http.TimeFormat)) //rblint:allow determinism
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	c := &RetryClient{HTTP: srv.Client(), Retries: 1, Base: 10 * time.Second}
+	start := time.Now() //rblint:allow determinism
+	_, status, err := c.Get(context.Background(), srv.URL)
+	elapsed := time.Since(start) //rblint:allow determinism
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("Get = %d, %v; want 200, nil", status, err)
+	}
+	if elapsed >= 5*time.Second {
+		t.Fatalf("retry waited %v: HTTP-date hint did not override the 10s backoff", elapsed)
 	}
 }
 

@@ -1,0 +1,310 @@
+package grid
+
+// Durable batch journal (DESIGN.md §17). Every /v1/batch on a coordinator
+// started with -journal-dir appends to a per-batch file: one meta record
+// describing the sweep, one cell record per completed CellResult, and a
+// final done marker. A coordinator that crashes mid-batch replays each
+// incomplete journal at startup, seeds the replayed cells into the router's
+// shared cache tier, and re-runs the batch — the journaled cells become
+// cache hits, so only the missing cells are re-dispatched to workers, and
+// the completed output is byte-identical to an uninterrupted run.
+//
+// The format follows internal/ckpt's discipline: a versioned magic header,
+// typed ckpt.ErrCorrupt/ckpt.ErrVersion failures, and a bounds-checked
+// reader that never panics on untrusted input. Framing is append-friendly
+// rather than ckpt's one-shot layout:
+//
+//	"RBJL" | u32 version
+//	repeat: u8 kind | u32 length | payload | u32 crc32(payload)
+//
+// kinds: 1 = meta (JSON JournalMeta), 2 = cell (JSON CellResult),
+// 3 = done (empty payload). All integers little-endian.
+//
+// A torn tail — the coordinator died mid-write — is expected, not corrupt:
+// replay keeps every whole record, reports Torn with the clean prefix
+// length, and resume truncates the tail before appending. Duplicate cell
+// records (a crash between the cache write and the journal sync, or replays
+// racing) are deduplicated by cell key, first record wins. Only a damaged
+// header or meta record is ErrCorrupt: with no meta there is nothing to
+// resume.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/ckpt"
+)
+
+// Journal file layout constants.
+const (
+	journalMagic   = "RBJL"
+	journalVersion = 1
+
+	recMeta byte = 1
+	recCell byte = 2
+	recDone byte = 3
+
+	// maxJournalRecord bounds one record's payload; a CellResult is a few KB
+	// of JSON, so 1 MiB is generous and keeps a corrupt length field from
+	// provoking a giant allocation.
+	maxJournalRecord = 1 << 20
+
+	// JournalExt is the journal filename suffix: <dir>/<id>.rbjl.
+	JournalExt = ".rbjl"
+)
+
+// JournalMeta describes the journaled batch: exactly one of Spec (a cell
+// sweep) or Artifact (a named paper artifact with its parameters) is set.
+// Format is the client's requested response format, replayed on resume so
+// the completed output renders identically.
+type JournalMeta struct {
+	ID       string     `json:"id"`
+	Spec     *BatchSpec `json:"spec,omitempty"`
+	Artifact string     `json:"artifact,omitempty"`
+	Width    int        `json:"width,omitempty"`
+	Suite    string     `json:"suite,omitempty"`
+	Format   string     `json:"format,omitempty"`
+}
+
+// Journal is an open, append-only batch journal. Appends are serialized and
+// synced to disk before returning, so a record the caller saw succeed
+// survives a kill -9.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// CreateJournal starts a new journal <dir>/<id>.rbjl holding meta. The file
+// is created exclusively: an ID collision is an error, not an overwrite.
+func CreateJournal(dir, id string, meta *JournalMeta) (*Journal, error) {
+	if id == "" {
+		return nil, fmt.Errorf("grid: journal needs an id")
+	}
+	meta.ID = id
+	path := journalPath(dir, id)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, path: path}
+	var hdr [8]byte
+	copy(hdr[:4], journalMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], journalVersion)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	payload, err := json.Marshal(meta)
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := j.append(recMeta, payload); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return j, nil
+}
+
+// OpenJournalAppend reopens an existing journal for appending after replay,
+// truncating to cleanLen first (dropping a torn tail).
+func OpenJournalAppend(path string, cleanLen int64) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(cleanLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(cleanLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+func journalPath(dir, id string) string {
+	return dir + string(os.PathSeparator) + id + JournalExt
+}
+
+// append frames and syncs one record.
+func (j *Journal) append(kind byte, payload []byte) error {
+	if len(payload) > maxJournalRecord {
+		return fmt.Errorf("grid: journal record of %d bytes exceeds the %d limit",
+			len(payload), maxJournalRecord)
+	}
+	buf := make([]byte, 0, 9+len(payload))
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(buf); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// AppendCell journals one completed cell.
+func (j *Journal) AppendCell(res *CellResult) error {
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	return j.append(recCell, payload)
+}
+
+// Done journals the batch-complete marker.
+func (j *Journal) Done() error { return j.append(recDone, nil) }
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// JournalReplay is the recovered state of one journal.
+type JournalReplay struct {
+	Meta  JournalMeta
+	Cells []*CellResult // deduplicated by key, first record wins
+	Done  bool          // the done marker was journaled
+	Torn  bool          // a partial/damaged tail was dropped
+	// CleanLen is the byte offset of the last whole record: resume truncates
+	// here before appending.
+	CleanLen int64
+}
+
+// ReadJournal replays one journal file. A damaged header or meta record is
+// ckpt.ErrCorrupt (wrapped) — there is nothing to resume — and a bad
+// version is ckpt.ErrVersion; anything broken after the meta record merely
+// ends the replay with Torn set. The reader allocates proportionally to the
+// declared record sizes, bounded by maxJournalRecord, and never panics on
+// untrusted input.
+func ReadJournal(path string) (*JournalReplay, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return replayJournal(raw)
+}
+
+func replayJournal(raw []byte) (*JournalReplay, error) {
+	if len(raw) < 8 || string(raw[:4]) != journalMagic {
+		return nil, fmt.Errorf("%w: bad journal header", ckpt.ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:8]); v != journalVersion {
+		return nil, fmt.Errorf("%w: journal version %d, want %d", ckpt.ErrVersion, v, journalVersion)
+	}
+	rep := &JournalReplay{CleanLen: 8}
+	seen := make(map[string]bool)
+	off := int64(8)
+	n := int64(len(raw))
+	for off < n {
+		kind, payload, next, ok := journalRecord(raw, off)
+		if !ok {
+			rep.Torn = true
+			break
+		}
+		switch kind {
+		case recMeta:
+			if off != 8 {
+				// A second meta mid-stream is damage, not a tail.
+				rep.Torn = true
+				return rep.metaCheck()
+			}
+			if err := json.Unmarshal(payload, &rep.Meta); err != nil {
+				return nil, fmt.Errorf("%w: bad journal meta: %v", ckpt.ErrCorrupt, err)
+			}
+		case recCell:
+			var cell CellResult
+			if err := json.Unmarshal(payload, &cell); err != nil {
+				rep.Torn = true
+				return rep.metaCheck()
+			}
+			if cell.Key != "" && !seen[cell.Key] {
+				seen[cell.Key] = true
+				rep.Cells = append(rep.Cells, &cell)
+			}
+		case recDone:
+			rep.Done = true
+		default:
+			rep.Torn = true
+			return rep.metaCheck()
+		}
+		off = next
+		rep.CleanLen = off
+	}
+	return rep.metaCheck()
+}
+
+// metaCheck enforces the one structural requirement: a journal with no
+// readable meta record cannot be resumed.
+func (rep *JournalReplay) metaCheck() (*JournalReplay, error) {
+	if rep.CleanLen <= 8 || (rep.Meta.Spec == nil && rep.Meta.Artifact == "") {
+		return nil, fmt.Errorf("%w: journal has no meta record", ckpt.ErrCorrupt)
+	}
+	return rep, nil
+}
+
+// journalRecord parses one frame at off; ok is false for a truncated or
+// checksum-damaged frame (a torn tail).
+func journalRecord(raw []byte, off int64) (kind byte, payload []byte, next int64, ok bool) {
+	n := int64(len(raw))
+	if off+5 > n {
+		return 0, nil, 0, false
+	}
+	kind = raw[off]
+	size := int64(binary.LittleEndian.Uint32(raw[off+1 : off+5]))
+	if size > maxJournalRecord || off+5+size+4 > n {
+		return 0, nil, 0, false
+	}
+	payload = raw[off+5 : off+5+size]
+	sum := binary.LittleEndian.Uint32(raw[off+5+size : off+9+size])
+	if sum != crc32.ChecksumIEEE(payload) {
+		return 0, nil, 0, false
+	}
+	return kind, payload, off + 9 + size, true
+}
+
+// JournalID derives a batch id from the meta's canonical JSON plus a
+// caller-supplied nonce (the server uses random bytes: ids must be unique
+// across identical re-submissions, not deterministic).
+func JournalID(meta *JournalMeta, nonce []byte) string {
+	m := *meta
+	m.ID = ""
+	canon, _ := json.Marshal(&m)
+	return fmt.Sprintf("%016x", fnv64a(string(canon), string(nonce)))
+}
+
+// ListJournals returns the journal IDs present in dir, sorted by filename.
+func ListJournals(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || len(name) <= len(JournalExt) ||
+			name[len(name)-len(JournalExt):] != JournalExt {
+			continue
+		}
+		ids = append(ids, name[:len(name)-len(JournalExt)])
+	}
+	return ids, nil
+}

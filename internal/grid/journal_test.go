@@ -1,0 +1,220 @@
+package grid
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ckpt"
+)
+
+func testMeta() *JournalMeta {
+	return &JournalMeta{Spec: &BatchSpec{Machines: []string{"baseline"}, Suite: "SPECint95"}}
+}
+
+func writeTestJournal(t testing.TB, dir, id string, keys []string, done bool) string {
+	t.Helper()
+	j, err := CreateJournal(dir, id, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if err := j.AppendCell(&CellResult{Key: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if done {
+		if err := j.Done(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return j.Path()
+}
+
+func TestJournalRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestJournal(t, dir, "b1", []string{"k1", "k2", "k3"}, true)
+
+	rep, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Meta.ID != "b1" || rep.Meta.Spec == nil || rep.Meta.Spec.Machines[0] != "baseline" {
+		t.Fatalf("meta did not round-trip: %+v", rep.Meta)
+	}
+	if len(rep.Cells) != 3 || rep.Cells[0].Key != "k1" || rep.Cells[2].Key != "k3" {
+		t.Fatalf("cells did not round-trip: %+v", rep.Cells)
+	}
+	if !rep.Done || rep.Torn {
+		t.Fatalf("done=%v torn=%v, want done and not torn", rep.Done, rep.Torn)
+	}
+	if fi, _ := os.Stat(path); rep.CleanLen != fi.Size() {
+		t.Fatalf("CleanLen = %d, file is %d", rep.CleanLen, fi.Size())
+	}
+
+	ids, err := ListJournals(dir)
+	if err != nil || len(ids) != 1 || ids[0] != "b1" {
+		t.Fatalf("ListJournals = %v, %v; want [b1]", ids, err)
+	}
+}
+
+// TestJournalTornTail: a write cut off mid-record (the crash case) loses
+// only the torn record; resume truncates the tail and appends cleanly.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestJournal(t, dir, "b1", []string{"k1", "k2"}, false)
+
+	whole, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	// Cut into the middle of the last (k2) record.
+	cut := whole.CleanLen - 3
+	if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Torn || rep.Done {
+		t.Fatalf("torn=%v done=%v, want torn and not done", rep.Torn, rep.Done)
+	}
+	if len(rep.Cells) != 1 || rep.Cells[0].Key != "k1" {
+		t.Fatalf("torn replay kept %+v, want exactly k1", rep.Cells)
+	}
+
+	// Resume: truncate the tail, append the missing cell and done.
+	j, err := OpenJournalAppend(path, rep.CleanLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendCell(&CellResult{Key: "k2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Done(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	final, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Torn || !final.Done || len(final.Cells) != 2 {
+		t.Fatalf("resumed journal replay = torn=%v done=%v cells=%d, want clean done with 2 cells",
+			final.Torn, final.Done, len(final.Cells))
+	}
+}
+
+// TestJournalDuplicateCells: duplicate delivery journals twice but replays
+// once (first record wins).
+func TestJournalDuplicateCells(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestJournal(t, dir, "b1", []string{"k1", "k1", "k2", "k1"}, true)
+	rep, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 || rep.Cells[0].Key != "k1" || rep.Cells[1].Key != "k2" {
+		t.Fatalf("duplicates not collapsed: %+v", rep.Cells)
+	}
+}
+
+func TestJournalCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestJournal(t, dir, "b1", []string{"k1"}, true)
+	raw, _ := os.ReadFile(path)
+
+	write := func(b []byte) string {
+		p := filepath.Join(dir, "case.rbjl")
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Damaged magic.
+	bad := append([]byte(nil), raw...)
+	bad[0] = 'X'
+	if _, err := ReadJournal(write(bad)); !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+	// Future version.
+	bad = append([]byte(nil), raw...)
+	bad[4] = 99
+	if _, err := ReadJournal(write(bad)); !errors.Is(err, ckpt.ErrVersion) {
+		t.Fatalf("bad version: err = %v, want ErrVersion", err)
+	}
+	// Header only: no meta record to resume from.
+	if _, err := ReadJournal(write(raw[:8])); !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Fatalf("no meta: err = %v, want ErrCorrupt", err)
+	}
+	// A flipped payload byte after the meta record is a torn tail, not
+	// corruption: the clean prefix is still resumable.
+	metaEnd := int64(8)
+	if _, _, next, ok := journalRecord(raw, 8); ok {
+		metaEnd = next
+	}
+	bad = append([]byte(nil), raw...)
+	bad[metaEnd+6] ^= 0x40 // inside the first cell record's payload
+	rep, err := ReadJournal(write(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Torn || len(rep.Cells) != 0 || rep.CleanLen != metaEnd {
+		t.Fatalf("flipped cell byte: torn=%v cells=%d cleanLen=%d (meta ends %d), want torn empty replay",
+			rep.Torn, len(rep.Cells), rep.CleanLen, metaEnd)
+	}
+}
+
+func TestJournalIDUniqueAcrossNonces(t *testing.T) {
+	m := testMeta()
+	a := JournalID(m, []byte{1})
+	b := JournalID(m, []byte{2})
+	if a == b {
+		t.Fatal("distinct nonces produced one id")
+	}
+	if a != JournalID(m, []byte{1}) {
+		t.Fatal("JournalID is not a function of (meta, nonce)")
+	}
+}
+
+// FuzzJournalReplay feeds arbitrary bytes through the replay path: it must
+// never panic, and any successful replay's clean prefix must replay again
+// to the same state (the resume invariant).
+func FuzzJournalReplay(f *testing.F) {
+	dir := f.TempDir()
+	path := writeTestJournal(f, dir, "seed", []string{"k1", "k2"}, true)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add(raw[:len(raw)-5])
+	f.Add(raw[:9])
+	f.Add([]byte(journalMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := replayJournal(data)
+		if err != nil {
+			return
+		}
+		if rep.CleanLen < 8 || rep.CleanLen > int64(len(data)) {
+			t.Fatalf("CleanLen %d out of range [8, %d]", rep.CleanLen, len(data))
+		}
+		again, err := replayJournal(data[:rep.CleanLen])
+		if err != nil {
+			t.Fatalf("clean prefix failed to replay: %v", err)
+		}
+		if again.Torn || len(again.Cells) != len(rep.Cells) || again.Done != rep.Done {
+			t.Fatalf("clean prefix replayed differently: %d/%v vs %d/%v",
+				len(again.Cells), again.Done, len(rep.Cells), rep.Done)
+		}
+	})
+}

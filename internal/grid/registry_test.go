@@ -1,0 +1,390 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock hands the registry an advancing synthetic time: the health
+// state machine takes explicit timestamps, so no test here sleeps.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time                    { return c.t }
+func (c *fakeClock) advance(d time.Duration) time.Time { c.t = c.t.Add(d); return c.t }
+
+// registrationRouter builds a router with no seeds whose registered workers
+// resolve to scriptable fakes.
+func registrationRouter(t *testing.T, fn func(ctx context.Context, req *CellRequest) (*CellResult, error)) (*Router, map[string]*fakeTransport) {
+	t.Helper()
+	made := make(map[string]*fakeTransport)
+	r, err := NewRouter(Options{
+		HeartbeatInterval: time.Second,
+		NewTransport: func(base string) Transport {
+			ft := &fakeTransport{name: base, fn: fn}
+			made[base] = ft
+			return ft
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, made
+}
+
+// TestRegistryJoinRoutesCells: a router with zero seeds accepts registered
+// workers and routes cells to them.
+func TestRegistryJoinRoutesCells(t *testing.T) {
+	clk := newFakeClock()
+	r, made := registrationRouter(t, func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		return okCell(req)
+	})
+
+	// No workers yet: routing has nowhere to go.
+	if _, err := r.Do(context.Background(), testCell("compress")); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers before any registration", err)
+	}
+
+	if joined, err := r.Heartbeat("http://w0", clk.now()); err != nil || !joined {
+		t.Fatalf("Heartbeat = %v, %v; want joined", joined, err)
+	}
+	if joined, err := r.Heartbeat("http://w0", clk.advance(time.Second)); err != nil || joined {
+		t.Fatalf("second heartbeat reported a fresh join (%v, %v)", joined, err)
+	}
+	if _, err := r.Heartbeat("", clk.now()); err == nil {
+		t.Fatal("empty worker name registered")
+	}
+
+	res, err := r.Do(context.Background(), testCell("compress"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Key != testCell("compress").Key() {
+		t.Fatalf("wrong cell: %q", res.Key)
+	}
+	if made["http://w0"].calls.Load() != 1 {
+		t.Fatalf("registered worker saw %d calls, want 1", made["http://w0"].calls.Load())
+	}
+	stats := r.Stats()
+	if stats.Registry.Joins != 1 || stats.Registry.Live != 1 {
+		t.Fatalf("registry stats = %+v, want 1 join, 1 live", stats.Registry)
+	}
+}
+
+// TestRegistryHealthTransitions drives alive → suspect → dead → rejoin with
+// a fake clock and checks every transition is visible in the snapshots.
+func TestRegistryHealthTransitions(t *testing.T) {
+	clk := newFakeClock()
+	r, _ := registrationRouter(t, func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		return okCell(req)
+	})
+	// HeartbeatInterval 1s → suspect at 3s of silence, dead at 10s.
+	r.Heartbeat("http://w0", clk.now())
+
+	health := func() string {
+		snaps, _ := r.reg.snapshot(clk.now())
+		return snaps[0].Health
+	}
+
+	if r.Sweep(clk.advance(2*time.Second)) != 0 || health() != "alive" {
+		t.Fatalf("fresh worker transitioned early: %s", health())
+	}
+	if r.Sweep(clk.advance(2*time.Second)) != 1 || health() != "suspect" {
+		t.Fatalf("4s of silence: health = %s, want suspect", health())
+	}
+	// Suspect workers are still routable: live() keeps them.
+	if names, _ := r.reg.live(); len(names) != 1 {
+		t.Fatalf("suspect worker dropped from the live set")
+	}
+	if r.Sweep(clk.advance(7*time.Second)) != 1 || health() != "dead" {
+		t.Fatalf("11s of silence: health = %s, want dead", health())
+	}
+	if names, _ := r.reg.live(); len(names) != 0 {
+		t.Fatal("dead worker still in the live set")
+	}
+	if _, err := r.Do(context.Background(), testCell("compress")); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers with every worker dead", err)
+	}
+
+	// A heartbeat revives the dead worker with a fresh breaker.
+	joined, err := r.Heartbeat("http://w0", clk.advance(time.Second))
+	if err != nil || !joined {
+		t.Fatalf("rejoin Heartbeat = %v, %v; want joined", joined, err)
+	}
+	if health() != "alive" {
+		t.Fatalf("rejoined worker health = %s, want alive", health())
+	}
+	stats := r.Stats()
+	if stats.Registry.Suspects != 1 || stats.Registry.Deaths != 1 || stats.Registry.Rejoins != 1 {
+		t.Fatalf("transition counters = %+v, want 1 suspect, 1 death, 1 rejoin", stats.Registry)
+	}
+}
+
+// TestRegistryDeathRehomesCells: cells previously homed on a worker that
+// dies re-run rendezvous over the survivors and still complete.
+func TestRegistryDeathRehomesCells(t *testing.T) {
+	clk := newFakeClock()
+	r, made := registrationRouter(t, func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		return okCell(req)
+	})
+	r.Heartbeat("http://w0", clk.now())
+	r.Heartbeat("http://w1", clk.now())
+
+	wls := []string{"compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"}
+	for _, wl := range wls {
+		if _, err := r.Do(context.Background(), testCell(wl)); err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+	}
+	if made["http://w0"].calls.Load() == 0 || made["http://w1"].calls.Load() == 0 {
+		t.Skip("rendezvous homed every cell on one worker")
+	}
+
+	// w1 goes silent past DeadAfter; only w0 keeps beating.
+	for i := 0; i < 11; i++ {
+		r.Heartbeat("http://w0", clk.advance(time.Second))
+	}
+	r.Sweep(clk.now())
+	before := made["http://w1"].calls.Load()
+
+	// Fresh cells (cold cache keys) must all land on the survivor.
+	for _, wl := range []string{"bzip2", "crafty", "gzip", "mcf"} {
+		if _, err := r.Do(context.Background(), testCell(wl)); err != nil {
+			t.Fatalf("%s after death: %v", wl, err)
+		}
+	}
+	if made["http://w1"].calls.Load() != before {
+		t.Fatal("dead worker was still routed cells")
+	}
+}
+
+// TestSeedWorkersStayStatic: a PR-9 grid — seed list, no heartbeats — never
+// times out; the breaker stays the only health signal.
+func TestSeedWorkersStayStatic(t *testing.T) {
+	w := &fakeTransport{name: "w0", fn: func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		return okCell(req)
+	}}
+	r := newTestRouter(t, w)
+	far := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	if n := r.Sweep(far); n != 0 {
+		t.Fatalf("silent seed worker transitioned (%d changes)", n)
+	}
+	if _, err := r.Do(context.Background(), testCell("compress")); err != nil {
+		t.Fatal(err)
+	}
+	snaps, _ := r.Snapshot()
+	if snaps[0].Health != "alive" || !snaps[0].Seed {
+		t.Fatalf("seed snapshot = %+v, want alive seed", snaps[0])
+	}
+}
+
+// TestHedgeRacesStraggler: a worker that stalls past the hedge delay loses
+// the race to the next worker in the chain; the straggler's attempt is
+// canceled and the hedge win is counted.
+func TestHedgeRacesStraggler(t *testing.T) {
+	canceled := make(chan struct{}, 8)
+	slow := func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		// Stall until the hedge win cancels this attempt.
+		<-ctx.Done()
+		canceled <- struct{}{}
+		return nil, ctx.Err()
+	}
+	fast := func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		return okCell(req)
+	}
+	// Make the cell's rendezvous home the straggler, so the primary attempt
+	// stalls and the hedge lands on the fast alternative.
+	req := testCell("compress")
+	names := []string{"a", "b"}
+	home := names[rendezvousRank(req.Key(), names)[0]]
+	fn := func(name string) func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		if name == home {
+			return slow
+		}
+		return fast
+	}
+	a := &fakeTransport{name: "a", fn: fn("a")}
+	b := &fakeTransport{name: "b", fn: fn("b")}
+	r, err := NewRouter(Options{
+		Workers:              []Transport{a, b},
+		HedgeMinDelay:        10 * time.Millisecond,
+		HedgeMinObservations: -1, // hedge from the first cell
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Key != req.Key() {
+		t.Fatalf("wrong cell: %q", res.Key)
+	}
+	select {
+	case <-canceled:
+	case <-time.After(5 * time.Second): //rblint:allow determinism
+		t.Fatal("losing attempt was never canceled")
+	}
+	stats := r.Stats()
+	if stats.Hedges != 1 || stats.HedgeWins != 1 {
+		t.Fatalf("hedge counters = %+v, want 1 hedge, 1 win", stats)
+	}
+	snaps, _ := r.Snapshot()
+	for _, s := range snaps {
+		if s.Failed != 0 {
+			t.Fatalf("hedge race charged a failure to %s: %+v", s.Name, s)
+		}
+		if s.Breaker != "closed" {
+			t.Fatalf("hedge race moved %s's breaker to %s", s.Name, s.Breaker)
+		}
+	}
+}
+
+// TestHedgeRespectsInflightCap: when the only alternative worker is at the
+// in-flight cap, the hedge is not launched and the straggler finishes.
+func TestHedgeRespectsInflightCap(t *testing.T) {
+	release := make(chan struct{})
+	slowish := func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		select {
+		case <-release:
+			return okCell(req)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	a := &fakeTransport{name: "a", fn: slowish}
+	b := &fakeTransport{name: "b", fn: slowish}
+	r, err := NewRouter(Options{
+		Workers:              []Transport{a, b},
+		HedgeMinDelay:        5 * time.Millisecond,
+		HedgeMinObservations: -1,
+		HedgeInflightCap:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate both workers: 8 distinct cells, every worker holds ≥1, so
+	// any hedge candidate is at the cap and no hedge can launch.
+	wls := []string{"compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"}
+	done := make(chan error, len(wls))
+	for _, wl := range wls {
+		wl := wl
+		go func() {
+			_, err := r.Do(context.Background(), testCell(wl))
+			done <- err
+		}()
+	}
+	time.Sleep(100 * time.Millisecond) //rblint:allow determinism
+	close(release)
+	for range wls {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.calls.Load() + b.calls.Load(); got != int64(len(wls)) {
+		t.Fatalf("saw %d attempts for %d cells: a hedge launched past the cap", got, len(wls))
+	}
+	if stats := r.Stats(); stats.Hedges != 0 {
+		t.Fatalf("hedges = %d, want 0 (every candidate at cap)", stats.Hedges)
+	}
+}
+
+// TestHedgeGatedUntilWarm: with the default observation gate, a young
+// router (sketch below MinObservations) never hedges.
+func TestHedgeGatedUntilWarm(t *testing.T) {
+	var calls atomic.Int64
+	slow := &fakeTransport{name: "a", fn: func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		calls.Add(1)
+		select {
+		case <-time.After(80 * time.Millisecond): //rblint:allow determinism
+			return okCell(req)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}}
+	spare := &fakeTransport{name: "b", fn: func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		calls.Add(1)
+		return okCell(req)
+	}}
+	r, err := NewRouter(Options{
+		Workers:       []Transport{slow, spare},
+		HedgeMinDelay: time.Millisecond, // would hedge instantly if ungated
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Do(context.Background(), testCell("compress")); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("cold router hedged: %d attempts", calls.Load())
+	}
+}
+
+// TestBreakerCanceledProbeNotATrip pins the satellite fix: a canceled
+// half-open probe neither trips nor closes the breaker; the next admission
+// is a fresh probe.
+func TestBreakerCanceledProbeNotATrip(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	b := NewBreaker(4, 0.5, 2, time.Second)
+	// Trip it.
+	b.Record(true, false, t0)
+	b.Record(true, false, t0)
+	if state, trips, _ := b.Snapshot(); state != "open" || trips != 1 {
+		t.Fatalf("setup: breaker %s with %d trips, want open/1", state, trips)
+	}
+	// Cooldown elapses; the probe is admitted, then the client disconnects.
+	t1 := t0.Add(2 * time.Second)
+	allowed, probe := b.Admit(t1)
+	if !allowed || !probe {
+		t.Fatalf("Admit after cooldown = %v, %v; want probe", allowed, probe)
+	}
+	b.Cancel(probe)
+	if state, trips, _ := b.Snapshot(); state != "half-open" || trips != 1 {
+		t.Fatalf("after canceled probe: %s with %d trips, want half-open/1 (no trip, no close)", state, trips)
+	}
+	// The very next admission is a fresh probe; a clean one closes.
+	allowed, probe = b.Admit(t1.Add(time.Millisecond))
+	if !allowed || !probe {
+		t.Fatalf("re-Admit = %v, %v; want a fresh probe", allowed, probe)
+	}
+	b.Record(false, probe, t1.Add(2*time.Millisecond))
+	if state, trips, _ := b.Snapshot(); state != "closed" || trips != 1 {
+		t.Fatalf("after clean probe: %s with %d trips, want closed/1", state, trips)
+	}
+	// Cancel of a non-probe attempt is a no-op.
+	b.Cancel(false)
+	if state, _, _ := b.Snapshot(); state != "closed" {
+		t.Fatalf("non-probe Cancel changed state to %s", state)
+	}
+}
+
+// TestRouterSeedSkipsDispatch: a seeded result is a cache hit; Do returns
+// it with zero transport calls (the journal-resume invariant).
+func TestRouterSeedSkipsDispatch(t *testing.T) {
+	w := &fakeTransport{name: "w0", fn: func(ctx context.Context, req *CellRequest) (*CellResult, error) {
+		return nil, fmt.Errorf("must not be called")
+	}}
+	r := newTestRouter(t, w)
+	req := testCell("compress")
+	r.Seed(&CellResult{Key: req.Key()})
+	r.Seed(nil) // no-op
+
+	res, err := r.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Key != req.Key() {
+		t.Fatalf("wrong cell: %q", res.Key)
+	}
+	if w.calls.Load() != 0 {
+		t.Fatalf("seeded cell reached the worker: %d calls", w.calls.Load())
+	}
+}

@@ -7,6 +7,13 @@ package grid
 // failover down each cell's preference list. It implements
 // experiments.Runner, so every figure and table of the paper runs
 // distributed without touching the experiment code.
+//
+// PR 10 makes the worker set dynamic (a registry with heartbeat-driven
+// health, seeded by the static -workers list) and adds hedging: once a cell
+// has been in flight longer than the grid's p99 cell latency, the router
+// races one extra attempt on the next worker in the cell's failover chain,
+// first result wins and the loser is canceled. Hedge launches respect a
+// per-worker in-flight cap so a slow grid never turns into a stampeded one.
 
 import (
 	"context"
@@ -20,20 +27,48 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/rcache"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
 // Options sizes a Router.
 type Options struct {
-	// Workers are the transports, one per worker; at least one is required.
+	// Workers are the seed transports (the static -workers list). A router
+	// needs either at least one seed or a NewTransport factory so workers
+	// can join by registration.
 	Workers []Transport
-	// MaxInflight caps concurrently routed cells; 0 means 4 per worker
+	// MaxInflight caps concurrently routed cells; 0 means 4 per seed worker
 	// (minimum 8). This is the coordinator's only execution bound: workers
 	// bound their own CPU with their pools and admission control.
 	MaxInflight int
 	// CacheCells bounds the shared result tier (unit cost per cell);
 	// 0 means 65536 cells.
 	CacheCells int64
+
+	// NewTransport builds the transport for a worker that joins via
+	// /v1/register (its registered base URL is the argument). nil means a
+	// default retrying HTTP transport; tests inject fakes here.
+	NewTransport func(base string) Transport
+	// HeartbeatInterval is the beat period workers are told to use; health
+	// timeouts default to multiples of it. 0 means DefaultHeartbeatInterval.
+	HeartbeatInterval time.Duration
+	// SuspectAfter and DeadAfter are the silence thresholds for the
+	// alive → suspect → dead transitions; 0 means 3× and 10× the heartbeat
+	// interval respectively.
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+
+	// HedgeMinDelay floors the hedge trigger delay (the p99 estimate of a
+	// freshly started grid is noise); 0 means 25ms, negative disables
+	// hedging entirely.
+	HedgeMinDelay time.Duration
+	// HedgeMinObservations gates hedging until the latency sketch has seen
+	// that many cells; 0 means 16, negative means no gate (the chaos
+	// campaign hedges from the first cell).
+	HedgeMinObservations int
+	// HedgeInflightCap skips hedge candidates already running this many
+	// cells; 0 means 4.
+	HedgeInflightCap int64
 
 	// Breaker parameters (zero values take the server's defaults: a window
 	// of 32 outcomes, 0.5 threshold, 8 minimum samples, 5s cooldown).
@@ -43,27 +78,25 @@ type Options struct {
 	BreakerCooldown   time.Duration
 }
 
-// worker is one routing target with its health state.
-type worker struct {
-	transport Transport
-	brk       *Breaker
-	inflight  atomic.Int64 // cells currently on this worker
-	routed    atomic.Int64 // cells ever routed here (including failures)
-	failed    atomic.Int64 // cells that failed here (caused failover)
-}
-
-// Router routes cells across workers. Create with NewRouter.
+// Router routes cells across the live worker set. Create with NewRouter.
 type Router struct {
-	workers []*worker
-	names   []string
-	cache   *rcache.Cache // shared result tier, unit cost per cell
-	sem     chan struct{}
+	reg   *registry
+	cache *rcache.Cache // shared result tier, unit cost per cell
+	sem   chan struct{}
+	lat   *stats.LatencySketch // successful cell latency, seconds
+
+	hedgeMinDelay time.Duration // negative: hedging disabled
+	hedgeMinObs   int
+	hedgeCap      int64
+
+	hedges    atomic.Int64 // hedge attempts launched
+	hedgeWins atomic.Int64 // cells won by the hedge attempt
 }
 
-// NewRouter builds a router over the given workers.
+// NewRouter builds a router over the given seed workers.
 func NewRouter(opts Options) (*Router, error) {
-	if len(opts.Workers) == 0 {
-		return nil, fmt.Errorf("grid: router needs at least one worker")
+	if len(opts.Workers) == 0 && opts.NewTransport == nil {
+		return nil, fmt.Errorf("grid: router needs at least one worker or registration enabled")
 	}
 	if opts.MaxInflight <= 0 {
 		opts.MaxInflight = 4 * len(opts.Workers)
@@ -86,25 +119,61 @@ func NewRouter(opts Options) (*Router, error) {
 	if opts.BreakerCooldown <= 0 {
 		opts.BreakerCooldown = 5 * time.Second
 	}
-	r := &Router{
-		cache: rcache.New(16, opts.CacheCells),
-		sem:   make(chan struct{}, opts.MaxInflight),
+	if opts.HedgeMinDelay == 0 {
+		opts.HedgeMinDelay = 25 * time.Millisecond
 	}
-	seen := make(map[string]bool, len(opts.Workers))
+	if opts.HedgeMinObservations == 0 {
+		opts.HedgeMinObservations = 16
+	}
+	if opts.HedgeInflightCap <= 0 {
+		opts.HedgeInflightCap = 4
+	}
+	newBreaker := func() *Breaker {
+		return NewBreaker(opts.BreakerWindow, opts.BreakerThreshold,
+			opts.BreakerMinSamples, opts.BreakerCooldown)
+	}
+	r := &Router{
+		reg: newRegistry(opts.HeartbeatInterval, opts.SuspectAfter, opts.DeadAfter,
+			opts.NewTransport, newBreaker),
+		cache:         rcache.New(16, opts.CacheCells),
+		sem:           make(chan struct{}, opts.MaxInflight),
+		lat:           stats.NewDefaultLatencySketch(),
+		hedgeMinDelay: opts.HedgeMinDelay,
+		hedgeMinObs:   opts.HedgeMinObservations,
+		hedgeCap:      opts.HedgeInflightCap,
+	}
 	for _, t := range opts.Workers {
-		name := t.Name()
-		if seen[name] {
-			return nil, fmt.Errorf("grid: duplicate worker name %q", name)
+		if err := r.reg.addSeed(t); err != nil {
+			return nil, err
 		}
-		seen[name] = true
-		r.workers = append(r.workers, &worker{
-			transport: t,
-			brk: NewBreaker(opts.BreakerWindow, opts.BreakerThreshold,
-				opts.BreakerMinSamples, opts.BreakerCooldown),
-		})
-		r.names = append(r.names, name)
 	}
 	return r, nil
+}
+
+// Heartbeat admits or refreshes a worker (the /v1/register handler). It
+// reports whether the worker newly joined or rejoined. Registration is
+// rejected when the router was built without a transport factory.
+func (r *Router) Heartbeat(name string, now time.Time) (joined bool, err error) {
+	return r.reg.heartbeat(name, now)
+}
+
+// Sweep advances the health state machine to now (the server's background
+// sweeper calls this every heartbeat interval) and reports transitions.
+func (r *Router) Sweep(now time.Time) int { return r.reg.sweep(now) }
+
+// HeartbeatInterval is the beat period the coordinator expects of workers.
+func (r *Router) HeartbeatInterval() time.Duration { return r.reg.interval }
+
+// Seed installs an already-computed cell result into the shared tier — the
+// journal-resume path: replayed cells become cache hits, so re-running a
+// resumed batch re-dispatches only the missing cells.
+func (r *Router) Seed(res *CellResult) {
+	if res == nil || res.Key == "" {
+		return
+	}
+	r.cache.Do(context.Background(), res.Key, func() (any, int64, error) {
+		return res, 1, nil
+	})
 }
 
 // Do computes one cell through the shared tier: a cache hit (or a join on a
@@ -135,42 +204,167 @@ func (r *Router) Do(ctx context.Context, req *CellRequest) (*CellResult, error) 
 	return v.(*CellResult), nil
 }
 
-// route tries the cell's workers in rendezvous order, skipping open
-// breakers and failing over past workers that error. Worker outcomes feed
-// the breakers; a context cancellation is the client's doing and is not
-// held against the worker (recording it as a success resolves any in-flight
-// probe so the breaker cannot wedge half-open).
+// hedgeDelay decides the straggler threshold for one cell: the grid's p99
+// successful-cell latency, floored by HedgeMinDelay. Zero means "do not
+// hedge this cell" (hedging disabled, or the sketch is too young to trust).
+func (r *Router) hedgeDelay() time.Duration {
+	if r.hedgeMinDelay < 0 {
+		return 0
+	}
+	if r.hedgeMinObs >= 0 && r.lat.Count() < uint64(r.hedgeMinObs) {
+		return 0
+	}
+	d := time.Duration(r.lat.Quantile(0.99) * float64(time.Second))
+	if d < r.hedgeMinDelay {
+		d = r.hedgeMinDelay
+	}
+	return d
+}
+
+// attemptResult is one worker attempt's outcome.
+type attemptResult struct {
+	w     *worker
+	res   *CellResult
+	err   error
+	hedge bool
+}
+
+// route runs one cell over the live worker set: the rendezvous-ranked chain
+// is tried in order, hedging a straggling attempt onto the next eligible
+// worker after hedgeDelay, first result wins. Worker outcomes feed the
+// breakers; a canceled attempt (client disconnect or a lost hedge race)
+// says nothing about the worker and is not recorded against it.
 func (r *Router) route(ctx context.Context, req *CellRequest) (*CellResult, error) {
+	names, workers := r.reg.live()
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%w: no live workers", ErrNoWorkers)
+	}
+	chain := make([]*worker, 0, len(names))
+	for _, idx := range rendezvousRank(req.Key(), names) {
+		chain = append(chain, workers[idx])
+	}
+
+	results := make(chan attemptResult, len(chain))
+	attempted := make([]bool, len(chain))
+	cancels := make([]context.CancelFunc, 0, 2)
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+	outstanding := 0
+
+	// launch starts the next eligible attempt: the first unattempted worker
+	// in chain order whose breaker admits. A hedge launch additionally skips
+	// (without consuming) workers at the in-flight cap, and must win a
+	// router in-flight slot without blocking — so hedges add load only
+	// where there is headroom, and the semaphore stays the grid's total
+	// load bound (a saturated grid sheds hedges, never amplifies).
+	launch := func(hedge bool) bool {
+		if hedge {
+			select {
+			case r.sem <- struct{}{}:
+			default:
+				return false // grid already at its in-flight bound
+			}
+		}
+		launched := false
+		defer func() {
+			if hedge && !launched {
+				<-r.sem
+			}
+		}()
+		for i, w := range chain {
+			if attempted[i] {
+				continue
+			}
+			if hedge && w.inflight.Load() >= r.hedgeCap {
+				continue
+			}
+			allowed, probe := w.brk.Admit(time.Now()) //rblint:allow determinism
+			if !allowed {
+				attempted[i] = true // shed: out of this cell's chain
+				continue
+			}
+			attempted[i] = true
+			w.routed.Add(1)
+			w.inflight.Add(1)
+			if hedge {
+				w.hedges.Add(1)
+			}
+			actx, acancel := context.WithCancel(ctx)
+			cancels = append(cancels, acancel)
+			outstanding++
+			launched = true
+			go func(w *worker, probe, hedge bool) {
+				start := time.Now() //rblint:allow determinism
+				res, err := w.transport.RunCell(actx, req)
+				if hedge {
+					<-r.sem
+				}
+				w.inflight.Add(-1)
+				now := time.Now() //rblint:allow determinism
+				switch {
+				case err == nil:
+					w.brk.Record(false, probe, now)
+					r.lat.Observe(now.Sub(start).Seconds())
+				case errors.Is(err, ErrBadCell):
+					// The worker answered; the request is at fault.
+					w.brk.Record(false, probe, now)
+				case actx.Err() != nil:
+					// Canceled, not failed: the client went away or this
+					// attempt lost the hedge race.
+					w.brk.Cancel(probe)
+				default:
+					w.failed.Add(1)
+					w.brk.Record(true, probe, now)
+				}
+				results <- attemptResult{w: w, res: res, err: err, hedge: hedge}
+			}(w, probe, hedge)
+			return true
+		}
+		return false
+	}
+
+	if !launch(false) {
+		return nil, fmt.Errorf("%w: every breaker is open", ErrNoWorkers)
+	}
+	var hedgeC <-chan time.Time
+	if d := r.hedgeDelay(); d > 0 {
+		t := time.NewTimer(d) //rblint:allow determinism
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
 	var lastErr error
-	for _, idx := range rendezvousRank(req.Key(), r.names) {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		w := r.workers[idx]
-		allowed, probe := w.brk.Admit(time.Now()) //rblint:allow determinism
-		if !allowed {
-			continue
-		}
-		w.routed.Add(1)
-		w.inflight.Add(1)
-		res, err := w.transport.RunCell(ctx, req)
-		w.inflight.Add(-1)
-		now := time.Now() //rblint:allow determinism
-		switch {
-		case err == nil:
-			w.brk.Record(false, probe, now)
-			return res, nil
-		case errors.Is(err, ErrBadCell):
-			// The worker answered; the request is at fault. No failover.
-			w.brk.Record(false, probe, now)
-			return nil, err
-		case ctx.Err() != nil:
-			w.brk.Record(false, probe, now)
+	for outstanding > 0 {
+		select {
+		case ar := <-results:
+			outstanding--
+			switch {
+			case ar.err == nil:
+				if ar.hedge {
+					r.hedgeWins.Add(1)
+					ar.w.hedgeWon.Add(1)
+				}
+				return ar.res, nil
+			case errors.Is(ar.err, ErrBadCell):
+				return nil, ar.err
+			case ctx.Err() != nil:
+				return nil, ctx.Err()
+			default:
+				lastErr = ar.err
+				if outstanding == 0 {
+					launch(false) // sequential failover
+				}
+			}
+		case <-hedgeC:
+			hedgeC = nil // at most one hedge per cell
+			if launch(true) {
+				r.hedges.Add(1)
+			}
+		case <-ctx.Done():
 			return nil, ctx.Err()
-		default:
-			w.failed.Add(1)
-			w.brk.Record(true, probe, now)
-			lastErr = err
 		}
 	}
 	if lastErr != nil {
@@ -233,31 +427,48 @@ func (r *Router) RunMatrix(ctx context.Context, cfgs []machine.Config, wls []*wo
 
 // WorkerSnapshot is one worker's health for /metrics.
 type WorkerSnapshot struct {
-	Name     string `json:"name"`
-	Breaker  string `json:"breaker"` // closed, open, or half-open
-	Trips    int64  `json:"trips"`
-	Shed     int64  `json:"shed"`
-	Inflight int64  `json:"inflight"`
-	Routed   int64  `json:"routed"`
-	Failed   int64  `json:"failed"`
+	Name           string  `json:"name"`
+	Health         string  `json:"health"` // alive, suspect, or dead
+	Seed           bool    `json:"seed"`
+	Beats          int64   `json:"beats"`
+	BeatAgeSeconds float64 `json:"beat_age_seconds,omitempty"`
+	Breaker        string  `json:"breaker"` // closed, open, or half-open
+	Trips          int64   `json:"trips"`
+	Shed           int64   `json:"shed"`
+	Inflight       int64   `json:"inflight"`
+	Routed         int64   `json:"routed"`
+	Failed         int64   `json:"failed"`
+	Hedges         int64   `json:"hedges,omitempty"`
+	HedgeWins      int64   `json:"hedge_wins,omitempty"`
+}
+
+// RouterStats aggregates the registry and hedging counters for /metrics.
+type RouterStats struct {
+	Registry  RegistryStats `json:"registry"`
+	Hedges    int64         `json:"hedges"`
+	HedgeWins int64         `json:"hedge_wins"`
 }
 
 // Snapshot returns per-worker health and the shared-tier cache counters.
 func (r *Router) Snapshot() ([]WorkerSnapshot, rcache.Stats) {
-	out := make([]WorkerSnapshot, len(r.workers))
-	for i, w := range r.workers {
-		state, trips, shed := w.brk.Snapshot()
-		out[i] = WorkerSnapshot{
-			Name:     r.names[i],
-			Breaker:  state,
-			Trips:    trips,
-			Shed:     shed,
-			Inflight: w.inflight.Load(),
-			Routed:   w.routed.Load(),
-			Failed:   w.failed.Load(),
-		}
-	}
+	out, _ := r.reg.snapshot(time.Now()) //rblint:allow determinism
 	return out, r.cache.Stats()
+}
+
+// CellLatency returns the q-quantile of successful cell latencies in
+// seconds, plus the sample count (the batch progress ETA input).
+func (r *Router) CellLatency(q float64) (float64, uint64) {
+	return r.lat.Quantile(q), r.lat.Count()
+}
+
+// Stats returns the registry and hedge counters.
+func (r *Router) Stats() RouterStats {
+	_, reg := r.reg.snapshot(time.Now()) //rblint:allow determinism
+	return RouterStats{
+		Registry:  reg,
+		Hedges:    r.hedges.Load(),
+		HedgeWins: r.hedgeWins.Load(),
+	}
 }
 
 // TeeRunner wraps a Runner and reports each distinct cell result once as it

@@ -10,6 +10,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,6 +20,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -107,10 +110,61 @@ func cellEvent(res *grid.CellResult) BatchCellEvent {
 // BatchDone is the final event of a streamed batch (and the partial-failure
 // summary of an aggregate one).
 type BatchDone struct {
-	Cells   int    `json:"cells"` // cells delivered
-	Total   int    `json:"total"` // cells requested
-	Partial bool   `json:"partial,omitempty"`
-	Error   string `json:"error,omitempty"`
+	Cells     int    `json:"cells"` // cells delivered
+	Total     int    `json:"total"` // cells requested
+	ElapsedMs int64  `json:"elapsed_ms"`
+	ID        string `json:"id,omitempty"` // journal id when batches are durable
+	Partial   bool   `json:"partial,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// BatchProgress is the periodic progress record of a streamed batch: cells
+// landed so far, and an ETA of remaining × p50 cell latency from the
+// router's latency sketch (omitted until the sketch has samples, and for
+// artifact batches whose cell total is not known up front).
+type BatchProgress struct {
+	Done      int   `json:"done"`
+	Total     int   `json:"total,omitempty"`
+	ElapsedMs int64 `json:"elapsed_ms"`
+	EtaMs     int64 `json:"eta_ms,omitempty"`
+}
+
+// streamProgress emits progress records every ProgressInterval until the
+// returned stop function is called. counts reports (done, total); total 0
+// means unknown.
+func (s *Server) streamProgress(stream *batchStream, start time.Time, counts func() (done, total int)) (stop func()) {
+	interval := s.cfg.ProgressInterval
+	if interval == 0 {
+		interval = time.Second
+	}
+	if stream == nil || interval < 0 {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval) //rblint:allow determinism
+		defer t.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+				n, total := counts()
+				ev := BatchProgress{
+					Done:      n,
+					Total:     total,
+					ElapsedMs: time.Since(start).Milliseconds(), //rblint:allow determinism
+				}
+				if p50, samples := s.router.CellLatency(0.50); samples > 0 && total > n {
+					ev.EtaMs = int64(float64(total-n) * p50 * 1e3)
+				}
+				stream.event("progress", ev)
+			}
+		}
+	}()
+	return func() { close(quit); <-done }
 }
 
 // batchStream serializes streamed events onto the response, flushing after
@@ -212,7 +266,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.failRequest(w, r, err) // ErrBadSpec -> 400
 		return
 	}
-	s.serveCellBatch(w, r, cells, format)
+	s.serveCellBatch(w, r, spec, cells, format)
 }
 
 // artifactParams validates an artifact name (404 on unknown) and its
@@ -326,16 +380,13 @@ func intsParam(v string) ([]int, error) {
 	return out, nil
 }
 
-// serveCellBatch routes every cell concurrently (the router's in-flight
-// semaphore is the bound) and delivers results per the format. A client
-// disconnect cancels the request context, which cancels every outstanding
-// worker call.
-func (s *Server) serveCellBatch(w http.ResponseWriter, r *http.Request, cells []grid.CellRequest, format string) {
-	ctx := r.Context()
-	var stream *batchStream
-	if format == "sse" || format == "ndjson" {
-		stream = newBatchStream(w, format)
-	}
+// computeCellBatch routes every cell concurrently (the router's in-flight
+// semaphore is the bound), invoking onCell/onErr as each lands (either may
+// be nil; both may be called from many goroutines). It returns the
+// successful cells sorted by key plus the first error. The /v1/batch
+// handler and the journal-resume path share this exact code, which is what
+// makes a resumed batch's output byte-identical to an uninterrupted one.
+func (s *Server) computeCellBatch(ctx context.Context, cells []grid.CellRequest, onCell func(i int, res *grid.CellResult), onErr func(i int, err error)) ([]BatchCellEvent, error) {
 	results := make([]*grid.CellResult, len(cells))
 	errs := make([]error, len(cells))
 	var wg sync.WaitGroup
@@ -346,13 +397,12 @@ func (s *Server) serveCellBatch(w http.ResponseWriter, r *http.Request, cells []
 			defer wg.Done()
 			res, err := s.router.Do(ctx, &cells[i])
 			results[i], errs[i] = res, err
-			if stream == nil {
-				return
-			}
 			if err != nil {
-				stream.event("error", map[string]string{"key": cells[i].Key(), "error": err.Error()})
-			} else {
-				stream.event("cell", cellEvent(res))
+				if onErr != nil {
+					onErr(i, err)
+				}
+			} else if onCell != nil {
+				onCell(i, res)
 			}
 		}()
 	}
@@ -370,9 +420,64 @@ func (s *Server) serveCellBatch(w http.ResponseWriter, r *http.Request, cells []
 		done = append(done, cellEvent(res))
 	}
 	sort.Slice(done, func(a, b int) bool { return done[a].Key < done[b].Key })
+	return done, firstErr
+}
 
+// renderCellBatchText is the canonical text rendering of a cell batch —
+// the format=text response body and the journal's completed-output file.
+func renderCellBatchText(done []BatchCellEvent) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "batch: %d cells\n", len(done))
+	for i := range done {
+		fmt.Fprintf(&b, "%-48s %8.4f\n", done[i].Key, done[i].IPC)
+	}
+	return b.Bytes()
+}
+
+// serveCellBatch runs one cell sweep and delivers results per the format.
+// A client disconnect cancels the request context, which cancels every
+// outstanding worker call. With -journal-dir, completed cells are journaled
+// as they land and the batch id travels in the X-Batch-Id header and the
+// done record.
+func (s *Server) serveCellBatch(w http.ResponseWriter, r *http.Request, spec *grid.BatchSpec, cells []grid.CellRequest, format string) {
+	ctx := r.Context()
+	start := time.Now() //rblint:allow determinism
+	bj := s.startJournal(&grid.JournalMeta{Spec: spec, Format: format})
+	if bj != nil {
+		w.Header().Set("X-Batch-Id", bj.id)
+	}
+	var stream *batchStream
+	if format == "sse" || format == "ndjson" {
+		stream = newBatchStream(w, format)
+	}
+	var landed atomic.Int64
+	stopProgress := s.streamProgress(stream, start, func() (int, int) {
+		return int(landed.Load()), len(cells)
+	})
+	done, firstErr := s.computeCellBatch(ctx, cells, func(i int, res *grid.CellResult) {
+		landed.Add(1)
+		bj.observe(res)
+		if stream != nil {
+			stream.event("cell", cellEvent(res))
+		}
+	}, func(i int, err error) {
+		if stream != nil {
+			stream.event("error", map[string]string{"key": cells[i].Key(), "error": err.Error()})
+		}
+	})
+	stopProgress()
+	if firstErr == nil {
+		bj.finish(renderCellBatchText(done))
+	} else {
+		bj.abort()
+	}
+
+	elapsed := time.Since(start).Milliseconds() //rblint:allow determinism
 	if stream != nil {
-		d := BatchDone{Cells: len(done), Total: len(cells), Partial: firstErr != nil}
+		d := BatchDone{Cells: len(done), Total: len(cells), ElapsedMs: elapsed, Partial: firstErr != nil}
+		if bj != nil {
+			d.ID = bj.id
+		}
 		if firstErr != nil {
 			d.Error = firstErr.Error()
 		}
@@ -395,13 +500,8 @@ func (s *Server) serveCellBatch(w http.ResponseWriter, r *http.Request, cells []
 	}
 	switch format {
 	case "text":
-		var b bytes.Buffer
-		fmt.Fprintf(&b, "batch: %d cells\n", len(done))
-		for i := range done {
-			fmt.Fprintf(&b, "%-48s %8.4f\n", done[i].Key, done[i].IPC)
-		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write(b.Bytes())
+		w.Write(renderCellBatchText(done))
 	default: // json
 		writeJSON(w, http.StatusOK, map[string]any{"count": len(done), "cells": done})
 	}
@@ -409,55 +509,78 @@ func (s *Server) serveCellBatch(w http.ResponseWriter, r *http.Request, cells []
 
 // serveArtifactBatch runs one named paper artifact through the grid. The
 // figure code is untouched: a TeeRunner around the router reports each
-// distinct cell as it lands, and the aggregate artifact renders exactly as
-// /v1/experiment (format=text stays byte-identical to rbexp).
+// distinct cell as it lands (streamed to the client, journaled when batches
+// are durable), and the aggregate artifact renders exactly as
+// /v1/experiment (format=text stays byte-identical to rbexp). The journal's
+// completed output is always the text rendering — the artifact the resume
+// path and the ci.sh chaos leg diff against serial rbexp.
 func (s *Server) serveArtifactBatch(w http.ResponseWriter, r *http.Request, name string, width int, suite string, format string) {
 	ctx := r.Context()
-	if format == "json" || format == "text" {
-		res, err := s.runArtifact(ctx, s.router, name, width, suite)
-		if err != nil {
-			s.failRequest(w, r, err)
-			return
+	start := time.Now() //rblint:allow determinism
+	bj := s.startJournal(&grid.JournalMeta{Artifact: name, Width: width, Suite: suite, Format: format})
+	if bj != nil {
+		w.Header().Set("X-Batch-Id", bj.id)
+	}
+	var stream *batchStream
+	if format == "sse" || format == "ndjson" {
+		stream = newBatchStream(w, format)
+	}
+	var landed atomic.Int64
+	stopProgress := s.streamProgress(stream, start, func() (int, int) {
+		return int(landed.Load()), 0 // artifact cell totals are not known up front
+	})
+	tee := &grid.TeeRunner{R: s.router, OnCell: func(cfg machine.Config, wl string, res *core.Result) {
+		key := (&grid.CellRequest{Config: cfg, Workload: wl}).Key()
+		landed.Add(1)
+		bj.observe(&grid.CellResult{Key: key, Result: res})
+		if stream != nil {
+			stream.event("cell", BatchCellEvent{Key: key, IPC: res.IPC(), Result: res})
 		}
-		if format == "text" {
-			var b bytes.Buffer
-			if err := res.Render(&b); err != nil {
-				s.failRequest(w, r, err)
-				return
+	}}
+	res, err := s.runArtifact(ctx, tee, name, width, suite)
+	stopProgress()
+	elapsed := time.Since(start).Milliseconds() //rblint:allow determinism
+	n := int(landed.Load())
+
+	var text bytes.Buffer
+	if err == nil {
+		if err = res.Render(&text); err == nil {
+			text.WriteByte('\n') // rbexp per-artifact println parity
+		}
+	}
+	if err != nil {
+		bj.abort()
+		if stream != nil {
+			stream.event("error", map[string]string{"error": err.Error()})
+			d := BatchDone{Cells: n, ElapsedMs: elapsed, Partial: true, Error: err.Error()}
+			if bj != nil {
+				d.ID = bj.id
 			}
-			b.WriteByte('\n') // rbexp per-artifact println parity
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			w.Write(b.Bytes())
+			stream.event("done", d)
 			return
 		}
-		body, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			s.failRequest(w, r, err)
+		s.failRequest(w, r, err)
+		return
+	}
+	bj.finish(text.Bytes())
+	switch {
+	case stream != nil:
+		stream.event("result", res)
+		d := BatchDone{Cells: n, Total: n, ElapsedMs: elapsed}
+		if bj != nil {
+			d.ID = bj.id
+		}
+		stream.event("done", d)
+	case format == "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(text.Bytes())
+	default: // json
+		body, merr := json.MarshalIndent(res, "", "  ")
+		if merr != nil {
+			s.failRequest(w, r, merr)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(append(body, '\n'))
-		return
 	}
-	stream := newBatchStream(w, format)
-	var cellsOut int
-	var mu sync.Mutex
-	tee := &grid.TeeRunner{R: s.router, OnCell: func(cfg machine.Config, wl string, res *core.Result) {
-		key := (&grid.CellRequest{Config: cfg, Workload: wl}).Key()
-		mu.Lock()
-		cellsOut++
-		mu.Unlock()
-		stream.event("cell", BatchCellEvent{Key: key, IPC: res.IPC(), Result: res})
-	}}
-	res, err := s.runArtifact(ctx, tee, name, width, suite)
-	mu.Lock()
-	n := cellsOut
-	mu.Unlock()
-	if err != nil {
-		stream.event("error", map[string]string{"error": err.Error()})
-		stream.event("done", BatchDone{Cells: n, Partial: true, Error: err.Error()})
-		return
-	}
-	stream.event("result", res)
-	stream.event("done", BatchDone{Cells: n, Total: n})
 }

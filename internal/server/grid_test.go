@@ -121,9 +121,14 @@ func mustCfgJSON(t *testing.T) string {
 // (the figures run distributed via the Runner interface) and through
 // /v1/batch's artifact mode.
 func TestCoordinatorHTTPDifferential(t *testing.T) {
-	w1 := New(Config{Logf: func(string, ...any) {}})
+	// MaxInflight is raised well past the router's concurrency: the default
+	// (2×GOMAXPROCS) is 2 on a single-CPU machine, and a grid routing 8
+	// cells at once into 2×2 admission slots sheds 429s until retries — and
+	// occasionally the whole failover chain — exhaust. Admission control is
+	// not what this test measures; byte-identity under distribution is.
+	w1 := New(Config{Logf: func(string, ...any) {}, MaxInflight: 64})
 	defer w1.Close()
-	w2 := New(Config{Logf: func(string, ...any) {}})
+	w2 := New(Config{Logf: func(string, ...any) {}, MaxInflight: 64})
 	defer w2.Close()
 	h1 := httptest.NewServer(w1.Handler())
 	defer h1.Close()

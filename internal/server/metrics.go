@@ -95,15 +95,25 @@ type MetricsSnapshot struct {
 	CellCache     rcache.Stats `json:"cell_cache"`
 	ResponseCache rcache.Stats `json:"response_cache"`
 
-	// Grid reports the cell router: per-worker circuit state and traffic
-	// counters, plus the coordinator's shared result tier. In a
-	// single-process server the one "local" worker appears here too, so the
-	// section's shape is mode-independent.
+	// Grid reports the cell router: per-worker circuit state, health, and
+	// traffic counters, registry churn, hedging, plus the coordinator's
+	// shared result tier. In a single-process server the one "local" worker
+	// appears here too, so the section's shape is mode-independent.
 	Grid struct {
 		Mode        string                `json:"mode"` // local or coordinator
 		Workers     []grid.WorkerSnapshot `json:"workers"`
+		Registry    grid.RegistryStats    `json:"registry"`
+		Hedges      int64                 `json:"hedges"`
+		HedgeWins   int64                 `json:"hedge_wins"`
 		SharedCache rcache.Stats          `json:"shared_cache"`
 	} `json:"grid"`
+
+	// Journal reports durable-batch activity (zero-valued when -journal-dir
+	// is unset).
+	Journal struct {
+		Journaled int64 `json:"batches_journaled"`
+		Resumed   int64 `json:"batches_resumed"`
+	} `json:"journal"`
 }
 
 // snapshot assembles the full snapshot.
@@ -134,10 +144,16 @@ func (s *Server) snapshot() MetricsSnapshot {
 	out.CellCache = s.harness.CacheStats()
 	out.ResponseCache = s.resp.Stats()
 	out.Grid.Mode = "local"
-	if len(s.cfg.Workers) > 0 {
+	if s.coordinator() {
 		out.Grid.Mode = "coordinator"
 	}
 	out.Grid.Workers, out.Grid.SharedCache = s.router.Snapshot()
+	rs := s.router.Stats()
+	out.Grid.Registry = rs.Registry
+	out.Grid.Hedges = rs.Hedges
+	out.Grid.HedgeWins = rs.HedgeWins
+	out.Journal.Journaled = s.journaled.Load()
+	out.Journal.Resumed = s.resumed.Load()
 	return out
 }
 

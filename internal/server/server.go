@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -80,8 +81,13 @@ type Config struct {
 	// Workers lists worker base URLs ("http://host:port"). Empty runs the
 	// single-process service; non-empty makes this server a grid
 	// coordinator: /v1/batch and /v1/experiment route their cells across the
-	// workers by rendezvous hashing (DESIGN.md §16).
+	// workers by rendezvous hashing (DESIGN.md §16). PR 10 makes this a
+	// *seed* list: workers can also join (and rejoin) at runtime via
+	// POST /v1/register heartbeats (DESIGN.md §17).
 	Workers []string
+	// Coordinator forces coordinator mode even with an empty seed list — a
+	// registration-only grid whose workers all join via /v1/register.
+	Coordinator bool
 	// NewTransport overrides how a worker URL becomes a transport; nil
 	// builds an HTTP transport with a retrying client. Tests inject
 	// goroutine-backed fakes here.
@@ -97,6 +103,32 @@ type Config struct {
 	// a worker Retry-After hint overrides the backoff schedule).
 	WorkerRetries   int
 	WorkerRetryBase time.Duration
+
+	// HeartbeatInterval is the worker beat period the registry expects;
+	// 0 means grid.DefaultHeartbeatInterval (2s). SuspectAfter and DeadAfter
+	// are the silence thresholds for the alive → suspect → dead transitions;
+	// 0 means 3× and 10× the interval.
+	HeartbeatInterval time.Duration
+	SuspectAfter      time.Duration
+	DeadAfter         time.Duration
+
+	// HedgeMinDelay floors the straggler-hedge trigger delay (0 means 25ms,
+	// negative disables hedging); HedgeMinObservations gates hedging until
+	// the cell-latency sketch has that many samples (0 means 16, negative
+	// ungates); HedgeInflightCap skips hedge candidates already running
+	// that many cells (0 means 4).
+	HedgeMinDelay        time.Duration
+	HedgeMinObservations int
+	HedgeInflightCap     int64
+
+	// JournalDir enables durable batches: every /v1/batch appends its spec
+	// and completed cells to an append-only journal there, and incomplete
+	// journals are resumed by ResumeJournals after a restart (DESIGN.md
+	// §17). Empty disables journaling.
+	JournalDir string
+	// ProgressInterval is the cadence of `progress` records on streamed
+	// (SSE/NDJSON) batches; 0 means 1s, negative disables them.
+	ProgressInterval time.Duration
 }
 
 // Server is one rbserve instance. Create with New, mount Handler, Close
@@ -114,6 +146,19 @@ type Server struct {
 	chaosSeq atomic.Int64       // chaotic-request ordinal
 	mux      *http.ServeMux
 	logf     func(format string, args ...any)
+
+	closeOnce sync.Once
+	closed    chan struct{} // stops the registry sweeper
+	sweepDone chan struct{} // sweeper exited
+
+	journaled atomic.Int64 // batches journaled since start
+	resumed   atomic.Int64 // journals resumed at startup
+}
+
+// coordinator reports whether this server routes cells to remote workers
+// (a seed list, or registration-only coordinator mode).
+func (s *Server) coordinator() bool {
+	return s.cfg.Coordinator || len(s.cfg.Workers) > 0
 }
 
 // New builds a server from cfg (zero value = sensible defaults).
@@ -161,25 +206,59 @@ func New(cfg Config) *Server {
 	s.buildRouter()
 	s.mux = http.NewServeMux()
 	s.routes()
+	s.closed = make(chan struct{})
+	s.sweepDone = make(chan struct{})
+	if s.coordinator() {
+		go s.sweepLoop()
+	} else {
+		close(s.sweepDone)
+	}
 	return s
+}
+
+// sweepLoop advances the registry's health state machine every heartbeat
+// interval until Close. The wall-clock reads are service plumbing; the
+// state machine itself takes explicit timestamps and is tested (and
+// chaos-campaigned) with a fake clock.
+func (s *Server) sweepLoop() {
+	defer close(s.sweepDone)
+	t := time.NewTicker(s.router.HeartbeatInterval()) //rblint:allow determinism
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			if n := s.router.Sweep(time.Now()); n > 0 { //rblint:allow determinism
+				s.logf("grid: registry sweep: %d health transitions", n)
+			}
+		}
+	}
 }
 
 // buildRouter wires the grid router. With no configured workers the router
 // has a single Local transport over the shared harness (so /v1/batch works
-// identically in a single process); with workers, the router fans out over
-// HTTP (or injected fake) transports and the experiment endpoints run
-// distributed too.
+// identically in a single process); in coordinator mode the router fans out
+// over HTTP (or injected fake) transports — the -workers list seeds the
+// registry, and workers joining via /v1/register get transports from the
+// same factory — and the experiment endpoints run distributed too.
 func (s *Server) buildRouter() {
 	cfg := s.cfg
 	opts := grid.Options{
-		MaxInflight:       cfg.GridMaxInflight,
-		CacheCells:        cfg.GridCacheCells,
-		BreakerWindow:     cfg.BreakerWindow,
-		BreakerThreshold:  cfg.BreakerThreshold,
-		BreakerMinSamples: cfg.BreakerMinSamples,
-		BreakerCooldown:   cfg.BreakerCooldown,
+		MaxInflight:          cfg.GridMaxInflight,
+		CacheCells:           cfg.GridCacheCells,
+		BreakerWindow:        cfg.BreakerWindow,
+		BreakerThreshold:     cfg.BreakerThreshold,
+		BreakerMinSamples:    cfg.BreakerMinSamples,
+		BreakerCooldown:      cfg.BreakerCooldown,
+		HeartbeatInterval:    cfg.HeartbeatInterval,
+		SuspectAfter:         cfg.SuspectAfter,
+		DeadAfter:            cfg.DeadAfter,
+		HedgeMinDelay:        cfg.HedgeMinDelay,
+		HedgeMinObservations: cfg.HedgeMinObservations,
+		HedgeInflightCap:     cfg.HedgeInflightCap,
 	}
-	if len(cfg.Workers) == 0 {
+	if !s.coordinator() {
 		opts.Workers = []grid.Transport{&grid.Local{Harness: s.harness}}
 	} else {
 		newT := cfg.NewTransport
@@ -199,6 +278,7 @@ func (s *Server) buildRouter() {
 				}}
 			}
 		}
+		opts.NewTransport = newT
 		for _, w := range cfg.Workers {
 			opts.Workers = append(opts.Workers, newT(w))
 		}
@@ -209,7 +289,7 @@ func (s *Server) buildRouter() {
 		panic(err)
 	}
 	s.router = router
-	if len(cfg.Workers) == 0 {
+	if !s.coordinator() {
 		s.runner = s.harness
 	} else {
 		s.runner = router
@@ -219,8 +299,15 @@ func (s *Server) buildRouter() {
 // Handler is the fully wired route tree.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close drains and stops the worker pool.
-func (s *Server) Close() { s.pool.Close() }
+// Close stops the registry sweeper, then drains and stops the worker pool.
+// Safe to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		<-s.sweepDone
+		s.pool.Close()
+	})
+}
 
 // routes mounts every endpoint. /healthz and /metrics bypass admission
 // control and the breaker — they must answer even when the simulation
@@ -242,6 +329,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/cell", s.observed(s.breaking(s.chaotic(s.limited(s.handleCell)))))
 	s.mux.HandleFunc("GET /v1/batch", s.observed(s.breaking(s.chaotic(s.limited(s.handleBatch)))))
 	s.mux.HandleFunc("POST /v1/batch", s.observed(s.breaking(s.chaotic(s.limited(s.handleBatch)))))
+	// Resilience endpoints (DESIGN.md §17): /v1/register is the worker
+	// heartbeat (cheap, must work even when the grid is saturated, so it
+	// bypasses admission control like /healthz); /v1/batches lists journaled
+	// batches and their recovery state.
+	s.mux.HandleFunc("POST /v1/register", s.observed(s.handleRegister))
+	s.mux.HandleFunc("GET /v1/batches", s.observed(s.handleBatches))
 	// Live profiling of the serving process (README "Profiling the
 	// simulator"); pprof handlers stream and manage their own timeouts.
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -26,8 +26,10 @@ go test -race -timeout 40m ./...
 go run ./cmd/rbcheck -quick
 # Fault-injection gate: detection floors (gate coverage, 100% residue on
 # single digit flips, full watchdog recovery) plus the deterministic
-# service-chaos outcome counts; non-zero exit on any regression.
-go run ./cmd/rbfault -quick >/dev/null
+# service-chaos outcome counts; non-zero exit on any regression. -grid adds
+# the grid chaos campaign: routing under worker kills, hedge races, the
+# heartbeat health model, and torn-journal resume with byte-identity.
+go run ./cmd/rbfault -quick -grid >/dev/null
 # Fuzz smoke leg: a few seconds of coverage-guided search on the
 # differential fuzz targets — the packed 64-lane engine vs the scalar
 # oracle, plus the adder-equivalence and lockstep targets. Any minimized
@@ -36,6 +38,7 @@ go test -run '^$' -fuzz '^FuzzPackedEvalEquivalence$' -fuzztime 5s ./internal/ga
 go test -run '^$' -fuzz '^FuzzAdderEquivalence$' -fuzztime 5s ./internal/check/
 go test -run '^$' -fuzz '^FuzzLockstep$' -fuzztime 5s ./internal/check/
 go test -run '^$' -fuzz '^FuzzCheckpointRoundtrip$' -fuzztime 5s ./internal/ckpt/
+go test -run '^$' -fuzz '^FuzzJournalReplay$' -fuzztime 5s ./internal/grid/
 # Focused race leg: the packages with real cross-goroutine traffic (worker
 # pool, response cache, HTTP service, fault campaigns) get a second -race
 # shake beyond the one-shot full run above, to catch schedule-dependent
@@ -104,3 +107,76 @@ diff "$BIN/fig9.grid2" "$BIN/fig9.cli"
 kill "$W1_PID" "$W2_PID" "$CO_PID"
 wait "$W1_PID" "$W2_PID" "$CO_PID" 2>/dev/null || true
 W1_PID='' W2_PID='' CO_PID=''
+
+# Grid chaos smoke test: durable journaled batches with crash-resume, plus
+# worker registration heartbeats. A coordinator with a journal dir starts
+# with NO seed workers; two workers -register into its grid. A fig9 batch is
+# then interrupted by killing one worker and the coordinator mid-flight; a
+# coordinator restarted on the same journal dir resumes the incomplete
+# journal — re-dispatching only the cells the journal is missing — and the
+# recovered output must be byte-identical to serial rbexp.
+trap 'rm -rf "$BIN"; for p in "${SRV_PID:-}" "${W1_PID:-}" "${W2_PID:-}" "${CO_PID:-}" "${W3_PID:-}" "${W4_PID:-}" "${GET_PID:-}"; do [ -n "$p" ] && kill "$p" 2>/dev/null || true; done' EXIT
+JDIR="$BIN/journals"
+mkdir -p "$JDIR"
+"$BIN/rbserve" -role coordinator -journal-dir "$JDIR" -grid-inflight 1 \
+	-addr 127.0.0.1:0 -addr-file "$BIN/co3.addr" &
+CO_PID=$!
+for _ in $(seq 1 100); do
+	[ -s "$BIN/co3.addr" ] && break
+	sleep 0.1
+done
+[ -s "$BIN/co3.addr" ]
+CO="$(head -n1 "$BIN/co3.addr")"
+"$BIN/rbserve" -role worker -addr 127.0.0.1:0 -addr-file "$BIN/w3.addr" \
+	-register "http://$CO" &
+W3_PID=$!
+"$BIN/rbserve" -role worker -addr 127.0.0.1:0 -addr-file "$BIN/w4.addr" \
+	-register "http://$CO" &
+W4_PID=$!
+# Registration heartbeats (not -workers seeds) are the only path into this
+# grid: wait until both workers have joined the registry.
+for _ in $(seq 1 100); do
+	"$BIN/rbserve" -get "http://$CO/metrics" | grep -q '"live": *2' && break
+	sleep 0.1
+done
+"$BIN/rbserve" -get "http://$CO/metrics" | grep -q '"live": *2'
+# Start the batch, then SIGKILL a worker and the coordinator mid-flight.
+# -grid-inflight 1 serialises cell dispatch, so a fig9 sweep comfortably
+# outlives a kill 0.7s in with some cells already journaled.
+"$BIN/rbserve" -get "http://$CO/v1/batch?artifact=fig9&format=text" >/dev/null 2>&1 &
+GET_PID=$!
+sleep 0.4
+kill -9 "$W4_PID" 2>/dev/null || true
+sleep 0.3
+kill -9 "$CO_PID" 2>/dev/null || true
+wait "$GET_PID" 2>/dev/null || true
+wait "$W4_PID" "$CO_PID" 2>/dev/null || true
+GET_PID='' W4_PID='' CO_PID=''
+ls "$JDIR" | grep -q '\.rbjl$'  # the interrupted batch left a journal...
+! ls "$JDIR" | grep -q '\.out$' # ...and no rendered output yet
+# Restart the coordinator on the same journal dir, seeded with the surviving
+# worker; the incomplete journal resumes in the background once it's up.
+W3="$(head -n1 "$BIN/w3.addr")"
+"$BIN/rbserve" -role coordinator -journal-dir "$JDIR" -workers "http://$W3" \
+	-addr 127.0.0.1:0 -addr-file "$BIN/co4.addr" 2>"$BIN/co4.log" &
+CO_PID=$!
+for _ in $(seq 1 300); do
+	ls "$JDIR"/*.out >/dev/null 2>&1 && break
+	sleep 0.1
+done
+ls "$JDIR"/*.out
+# Byte-identity: the resumed batch's rendered output equals serial rbexp.
+diff "$JDIR"/*.out "$BIN/fig9.cli"
+# The resume log proves no cell ran twice: replayed + re-dispatched == total.
+RESUME="$(sed -n 's/.*resumed: \([0-9]*\) cells from journal, \([0-9]*\) re-dispatched, \([0-9]*\) total.*/\1 \2 \3/p' "$BIN/co4.log")"
+[ -n "$RESUME" ]
+set -- $RESUME
+[ "$(($1 + $2))" -eq "$3" ]
+[ "$3" -gt 0 ]
+CO4="$(head -n1 "$BIN/co4.addr")"
+"$BIN/rbserve" -get "http://$CO4/metrics" >"$BIN/co4.metrics"
+grep -q '"batches_resumed": *1' "$BIN/co4.metrics"
+grep -q '"hedges"' "$BIN/co4.metrics"
+kill "$W3_PID" "$CO_PID"
+wait "$W3_PID" "$CO_PID" 2>/dev/null || true
+W3_PID='' CO_PID=''
